@@ -1,0 +1,42 @@
+# Convenience targets for the wtcp reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench figures traces report fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every paper figure at publication fidelity.
+figures:
+	$(GO) run ./cmd/wtcp-figures -fig all -reps 10
+
+traces:
+	$(GO) run ./cmd/wtcp-trace -scheme basic
+	$(GO) run ./cmd/wtcp-trace -scheme localrecovery
+	$(GO) run ./cmd/wtcp-trace -scheme ebsn
+
+# Rebuild REPLICATION.md from live runs (fails if any claim regresses).
+report:
+	$(GO) run ./cmd/wtcp-report -reps 10 > REPLICATION.md
+
+fuzz:
+	$(GO) test -fuzz=FuzzReassembler -fuzztime=30s ./internal/ip
+	$(GO) test -fuzz=FuzzSenderAckStream -fuzztime=30s ./internal/tcp
+
+clean:
+	$(GO) clean ./...

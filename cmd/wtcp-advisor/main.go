@@ -1,0 +1,55 @@
+// Command wtcp-advisor builds the paper's §4.1 deployment artifact: the
+// fixed table a base station keeps, mapping a wireless error
+// characteristic (mean bad-period length) to the "good" wired packet size
+// for it. It calibrates by simulation sweeps and can then answer
+// point queries.
+//
+//	wtcp-advisor                      # calibrate and print the table
+//	wtcp-advisor -query 2.5s          # calibrate, then recommend for 2.5s fades
+//	wtcp-advisor -reps 10 -csv        # higher-confidence calibration, CSV out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wtcp/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wtcp-advisor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wtcp-advisor", flag.ContinueOnError)
+	var (
+		reps  = fs.Int("reps", 5, "replications per calibration point")
+		query = fs.Duration("query", 0, "optionally recommend a packet size for this mean bad period")
+		csv   = fs.Bool("csv", false, "emit the table as CSV")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	advisor, err := experiment.CalibrateAdvisor(experiment.Options{Replications: *reps})
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Println("mean_bad_sec,packet_size_bytes,throughput_kbps")
+		for _, e := range advisor.Table() {
+			fmt.Printf("%.1f,%d,%.2f\n", e.MeanBad.Seconds(), e.PacketSize, e.ThroughputKbps)
+		}
+	} else {
+		fmt.Println("packet-size advisory table (basic TCP, wide-area preset):")
+		fmt.Print(advisor.String())
+	}
+	if *query > 0 {
+		size := advisor.Recommend(*query)
+		fmt.Printf("recommended packet size for %v fades: %s\n", *query, size)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		buf := new(strings.Builder)
+		chunk := make([]byte, 1<<16)
+		for {
+			n, err := r.Read(chunk)
+			buf.Write(chunk[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- buf.String()
+	}()
+	runErr := fn()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return <-done, runErr
+}
+
+func TestAdvisorTable(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-reps", "1"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "mean bad period -> good packet size") {
+		t.Errorf("table missing:\n%s", out)
+	}
+}
+
+func TestAdvisorQueryAndCSV(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-reps", "1", "-csv", "-query", "2s"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "mean_bad_sec,packet_size_bytes,throughput_kbps") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "recommended packet size for 2s fades") {
+		t.Errorf("query answer missing:\n%s", out)
+	}
+}
+
+func TestAdvisorRejectsBadFlags(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-bogus"}) }); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,214 @@
+// Command wtcp-figures regenerates the paper's evaluation figures as
+// terminal tables or CSV.
+//
+//	wtcp-figures -fig 7           # basic TCP throughput vs packet size
+//	wtcp-figures -fig 8 -csv      # EBSN sweep, CSV to stdout
+//	wtcp-figures -fig all -reps 5 # everything the paper reports
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wtcp-figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wtcp-figures", flag.ContinueOnError)
+	var (
+		fig  = fs.String("fig", "all", "figure to regenerate: 3|4|5|7|8|9|10|11|csdp|congestion|handoff|severity|all")
+		reps = fs.Int("reps", 5, "replications per data point")
+		csv  = fs.Bool("csv", false, "emit CSV instead of tables")
+		out  = fs.String("out", "", "directory to write per-figure CSV files into (implies CSV data)")
+		seed = fs.Int64("seed", 0, "base seed offset")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+	}
+	writeFile := func(name, body string) error {
+		if *out == "" {
+			return nil
+		}
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		return nil
+	}
+	opt := experiment.Options{Replications: *reps, BaseSeed: *seed}
+	want := func(names ...string) bool {
+		if *fig == "all" {
+			return true
+		}
+		for _, n := range names {
+			if *fig == n {
+				return true
+			}
+		}
+		return false
+	}
+	did := false
+
+	if want("3", "4", "5") {
+		did = true
+		for _, tf := range []struct {
+			name   string
+			scheme bs.Scheme
+		}{
+			{"3", bs.Basic}, {"4", bs.LocalRecovery}, {"5", bs.EBSN},
+		} {
+			if !want(tf.name) {
+				continue
+			}
+			r, err := experiment.TraceFigure(tf.scheme, 60*time.Second)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("=== Figure %s: packet trace, %s, deterministic channel (good 10s / bad 4s) ===\n",
+				tf.name, tf.scheme)
+			if *csv {
+				fmt.Print(r.Trace.CSV())
+			} else {
+				fmt.Print(r.Trace.RenderASCII(100, 30, 60*time.Second))
+				fmt.Printf("source timeouts: %d, source retransmissions: %d, EBSN resets: %d\n\n",
+					r.Summary.Timeouts, r.Sender.RetransSegments, r.Summary.EBSNResets)
+			}
+		}
+	}
+
+	if want("7") {
+		did = true
+		points := experiment.Fig7(opt)
+		if err := writeFile("fig7.csv", experiment.ThroughputCSV(points)); err != nil {
+			return err
+		}
+		emit(*csv, experiment.ThroughputCSV(points),
+			experiment.RenderThroughputTable(
+				"=== Figure 7: Basic TCP (wide-area) — throughput (Kbps) vs packet size, mean good period 10s ===", points))
+	}
+	if want("8") {
+		did = true
+		points := experiment.Fig8(opt)
+		if err := writeFile("fig8.csv", experiment.ThroughputCSV(points)); err != nil {
+			return err
+		}
+		emit(*csv, experiment.ThroughputCSV(points),
+			experiment.RenderThroughputTable(
+				"=== Figure 8: EBSN (wide-area) — throughput (Kbps) vs packet size, mean good period 10s ===", points))
+	}
+	if want("9") {
+		did = true
+		points := experiment.Fig9(opt)
+		if err := writeFile("fig9.csv", experiment.RetransCSV(points)); err != nil {
+			return err
+		}
+		emit(*csv, experiment.RetransCSV(points),
+			experiment.RenderRetransTable(
+				"=== Figure 9: Basic TCP vs EBSN (wide-area) — data retransmitted, 100KB file ===", points))
+	}
+	if want("10", "11") {
+		did = true
+		points := experiment.LANStudy(opt)
+		if err := writeFile("fig10_11.csv", experiment.LANCSV(points)); err != nil {
+			return err
+		}
+		emit(*csv, experiment.LANCSV(points),
+			experiment.RenderLANTable(
+				"=== Figures 10 & 11: Basic TCP vs EBSN (local-area) — throughput and data retransmitted vs mean bad period, 4MB file, mean good period 4s ===", points))
+	}
+
+	if want("csdp") {
+		did = true
+		points, err := experiment.CSDPStudy(experiment.CSDPOptions{Replications: *reps, BaseSeed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := writeFile("csdp.csv", experiment.CSDPCSV(points)); err != nil {
+			return err
+		}
+		emit(*csv, experiment.CSDPCSV(points),
+			experiment.RenderCSDPTable(
+				"=== Related work [Bhagwat 95]: FIFO vs round-robin vs CSDP, 4 connections sharing the radio ===", points))
+	}
+	if want("handoff") {
+		did = true
+		points, err := experiment.HandoffStudy(experiment.HandoffOptions{})
+		if err != nil {
+			return err
+		}
+		if err := writeFile("handoff.csv", experiment.HandoffCSV(points)); err != nil {
+			return err
+		}
+		emit(*csv, experiment.HandoffCSV(points),
+			experiment.RenderHandoffTable(
+				"=== Related work [Caceres & Iftode 94]: plain TCP vs fast-retransmit-on-handoff ===", points))
+	}
+	if want("severity") {
+		did = true
+		points, err := experiment.SeverityStudy(experiment.SeverityOptions{Replications: *reps, BaseSeed: *seed})
+		if err != nil {
+			return err
+		}
+		table := experiment.RenderSeverityTable(
+			"=== Paper conjecture (§1/§6): EBSN improvement grows as the link gets lossier ===", points)
+		if err := writeFile("severity.csv", severityCSV(points)); err != nil {
+			return err
+		}
+		emit(*csv, severityCSV(points), table)
+	}
+	if want("congestion") {
+		did = true
+		points, err := experiment.CongestionStudy(experiment.CongestionOptions{Replications: *reps, BaseSeed: *seed})
+		if err != nil {
+			return err
+		}
+		if err := writeFile("congestion.csv", experiment.CongestionCSV(points)); err != nil {
+			return err
+		}
+		emit(*csv, experiment.CongestionCSV(points), experiment.RenderCongestionTable(
+			"=== Future work (paper §6): EBSN vs basic TCP under wired cross-traffic, bad=2s ===", points))
+	}
+
+	if !did {
+		return fmt.Errorf("unknown figure %q (expect 3|4|5|7|8|9|10|11|csdp|congestion|handoff|severity|all)", *fig)
+	}
+	return nil
+}
+
+func emit(csv bool, csvBody, table string) {
+	if csv {
+		fmt.Print(csvBody)
+	} else {
+		fmt.Println(strings.TrimRight(table, "\n"))
+		fmt.Println()
+	}
+}
+
+// severityCSV emits the severity ladder as CSV.
+func severityCSV(points []experiment.SeverityPoint) string {
+	var b strings.Builder
+	b.WriteString("bad_period_sec,bad_ber,basic_kbps,ebsn_kbps,improvement_pct\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%.1f,%g,%.3f,%.3f,%.1f\n",
+			p.MeanBad.Seconds(), p.BadBER, p.BasicKbps.Mean(), p.EBSNKbps.Mean(), p.ImprovementPct)
+	}
+	return b.String()
+}

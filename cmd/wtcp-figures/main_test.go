@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		buf := new(strings.Builder)
+		chunk := make([]byte, 1<<16)
+		for {
+			n, err := r.Read(chunk)
+			buf.Write(chunk[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- buf.String()
+	}()
+	runErr := fn()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return <-done, runErr
+}
+
+func TestFigureTrace(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-fig", "5"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "Figure 5") || !strings.Contains(out, "EBSN resets") {
+		t.Errorf("figure 5 output malformed:\n%s", out)
+	}
+}
+
+func TestFigureTraceCSV(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-fig", "3", "-csv"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "time_sec,packet_mod_90,kind") {
+		t.Errorf("CSV header missing:\n%.200s", out)
+	}
+}
+
+func TestFigureSweepReducedReps(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-fig", "7", "-reps", "1"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "Figure 7") || !strings.Contains(out, "tput_th") {
+		t.Errorf("figure 7 table malformed:\n%.400s", out)
+	}
+}
+
+func TestFigureHandoff(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-fig", "handoff"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "fastretransmit") {
+		t.Errorf("handoff table malformed:\n%s", out)
+	}
+}
+
+func TestFigureUnknown(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-fig", "99"}) }); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestFigureOutDirectory(t *testing.T) {
+	dir := t.TempDir()
+	_, err := capture(t, func() error { return run([]string{"-fig", "7", "-reps", "1", "-out", dir}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	body, err := os.ReadFile(filepath.Join(dir, "fig7.csv"))
+	if err != nil {
+		t.Fatalf("fig7.csv not written: %v", err)
+	}
+	if !strings.Contains(string(body), "scheme,bad_period_sec") {
+		t.Errorf("fig7.csv malformed:\n%.200s", body)
+	}
+}

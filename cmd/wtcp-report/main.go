@@ -1,0 +1,53 @@
+// Command wtcp-report runs the full replication suite and emits a
+// markdown report: every figure's table regenerated fresh, plus a
+// claim-by-claim verdict list checking the paper's qualitative statements
+// against the new measurements.
+//
+//	wtcp-report > replication.md
+//	wtcp-report -quick          # CI-sized sweeps
+//	wtcp-report -reps 10        # smoother curves
+//
+// The command exits non-zero if any checked claim fails to reproduce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wtcp/internal/report"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wtcp-report:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out *os.File) (int, error) {
+	fs := flag.NewFlagSet("wtcp-report", flag.ContinueOnError)
+	var (
+		reps  = fs.Int("reps", 5, "replications per data point")
+		quick = fs.Bool("quick", false, "CI-sized sweeps (smaller transfers, fewer points)")
+		seed  = fs.Int64("seed", 0, "base seed offset")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	md, err := report.Generate(report.Options{
+		Replications: *reps,
+		Quick:        *quick,
+		BaseSeed:     *seed,
+	})
+	if err != nil {
+		return 1, err
+	}
+	fmt.Fprint(out, md)
+	if !report.AllReproduced(md) {
+		return 2, nil
+	}
+	return 0, nil
+}

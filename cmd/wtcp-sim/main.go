@@ -1,0 +1,133 @@
+// Command wtcp-sim runs one simulated bulk transfer over the paper's
+// FH-BS-MH topology and prints the measured metrics.
+//
+// Examples:
+//
+//	wtcp-sim -scheme basic -packet 576 -bad 4s
+//	wtcp-sim -scheme ebsn -packet 1536 -bad 2s -reps 5
+//	wtcp-sim -lan -scheme ebsn -bad 800ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/core"
+	"wtcp/internal/stats"
+	"wtcp/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wtcp-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wtcp-sim", flag.ContinueOnError)
+	var (
+		schemeName = fs.String("scheme", "basic", "base-station scheme: basic|localrecovery|ebsn|sourcequench|snoop")
+		packet     = fs.Int("packet", 576, "wired packet size in bytes (including 40-byte header)")
+		bad        = fs.Duration("bad", 2*time.Second, "mean bad-period length")
+		good       = fs.Duration("good", 0, "mean good-period length (0 = paper preset)")
+		transfer   = fs.Int64("transfer", 0, "transfer size in KB (0 = paper preset)")
+		lan        = fs.Bool("lan", false, "use the local-area preset instead of wide-area")
+		seed       = fs.Int64("seed", 1, "base random seed")
+		reps       = fs.Int("reps", 1, "independent replications")
+		verbose    = fs.Bool("v", false, "print per-component counters")
+		configPath = fs.String("config", "", "JSON scenario file (overrides the scenario flags)")
+		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON results")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scheme, err := bs.ParseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+
+	var fromFile *core.Config
+	if *configPath != "" {
+		loaded, err := loadScenario(*configPath)
+		if err != nil {
+			return err
+		}
+		fromFile = &loaded
+		scheme = loaded.Scheme
+	}
+
+	build := func(seed int64) core.Config {
+		if fromFile != nil {
+			cfg := *fromFile
+			cfg.Seed = cfg.Seed + seed - fromFile.Seed // offset for replications
+			return cfg
+		}
+		var cfg core.Config
+		if *lan {
+			cfg = core.LAN(scheme, *bad)
+		} else {
+			cfg = core.WAN(scheme, units.ByteSize(*packet), *bad)
+		}
+		if *good > 0 {
+			cfg.Channel.MeanGood = *good
+		}
+		if *transfer > 0 {
+			cfg.TransferSize = units.ByteSize(*transfer) * units.KB
+		}
+		cfg.Seed = seed
+		return cfg
+	}
+
+	cfg := build(*seed)
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if !*jsonOut {
+		fmt.Printf("scheme=%s packet=%dB transfer=%s window=%s bad=%v good=%v tput_th=%.2fKbps\n",
+			scheme, cfg.PacketSize, cfg.TransferSize, cfg.Window,
+			cfg.Channel.MeanBad, cfg.Channel.MeanGood, cfg.TheoreticalMaxKbps())
+	}
+
+	var tput, goodput, retrans, timeouts stats.Sample
+	var last *core.Result
+	for i := 0; i < *reps; i++ {
+		r, err := core.Run(build(*seed + int64(i)))
+		if err != nil {
+			return err
+		}
+		if !r.Completed {
+			fmt.Printf("rep %d: transfer did not complete within the horizon\n", i+1)
+			continue
+		}
+		tput.Add(r.Summary.ThroughputKbps)
+		goodput.Add(r.Summary.Goodput)
+		retrans.Add(r.Summary.RetransmittedKB())
+		timeouts.Add(float64(r.Summary.Timeouts))
+		last = r
+	}
+	if tput.N() == 0 {
+		return fmt.Errorf("no replication completed")
+	}
+	if *jsonOut {
+		return emitJSON(cfg, &tput, &goodput, &retrans, &timeouts, last)
+	}
+	fmt.Printf("throughput   %.2f Kbps (sd %.1f%%)\n", tput.Mean(), 100*tput.RelStdDev())
+	fmt.Printf("goodput      %.3f\n", goodput.Mean())
+	fmt.Printf("retransmitted %.1f KB\n", retrans.Mean())
+	fmt.Printf("timeouts     %.1f\n", timeouts.Mean())
+
+	if *verbose && last != nil {
+		fmt.Printf("\nlast replication detail:\n")
+		fmt.Printf("  sender:   %+v\n", last.Sender)
+		fmt.Printf("  sink:     %+v\n", last.Sink)
+		fmt.Printf("  bs:       %+v\n", last.BS)
+		fmt.Printf("  mobile:   %+v\n", last.Mobile)
+		fmt.Printf("  downlink: %+v\n", last.WirelessDown)
+		fmt.Printf("  uplink:   %+v\n", last.WirelessUp)
+	}
+	return nil
+}

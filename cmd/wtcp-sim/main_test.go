@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	return string(buf[:n]), runErr
+}
+
+func TestRunBasicScenario(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-scheme", "ebsn", "-packet", "576", "-bad", "2s", "-transfer", "30"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"scheme=ebsn", "throughput", "goodput", "retransmitted", "timeouts", "tput_th"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunLANPreset(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-lan", "-scheme", "basic", "-bad", "800ms", "-transfer", "512"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "packet=1536B") {
+		t.Errorf("LAN preset not applied:\n%s", out)
+	}
+}
+
+func TestRunReplications(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-scheme", "basic", "-transfer", "20", "-reps", "3"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "sd ") {
+		t.Errorf("replicated run shows no deviation:\n%s", out)
+	}
+}
+
+func TestRunVerbose(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-scheme", "localrecovery", "-transfer", "20", "-v"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "sender:") || !strings.Contains(out, "downlink:") {
+		t.Errorf("verbose output missing component stats:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-scheme", "bogus"}) }); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+	if _, err := capture(t, func() error { return run([]string{"-packet", "10"}) }); err == nil {
+		t.Error("sub-header packet size accepted")
+	}
+	if _, err := capture(t, func() error { return run([]string{"-nonsense"}) }); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunSplitScheme(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-scheme", "split", "-transfer", "20"})
+	})
+	if err != nil {
+		t.Fatalf("split run: %v", err)
+	}
+	if !strings.Contains(out, "scheme=split") {
+		t.Errorf("split output wrong:\n%s", out)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-scheme", "ebsn", "-transfer", "20", "-reps", "2", "-json"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out)
+	}
+	if parsed["scheme"] != "ebsn" {
+		t.Errorf("scheme = %v", parsed["scheme"])
+	}
+	if parsed["replications"].(float64) != 2 {
+		t.Errorf("replications = %v", parsed["replications"])
+	}
+	if _, ok := parsed["last_replication"].(map[string]any); !ok {
+		t.Error("component detail missing")
+	}
+	if parsed["throughput_kbps_mean"].(float64) <= 0 {
+		t.Error("zero throughput in JSON output")
+	}
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/core"
+	"wtcp/internal/tcp"
+	"wtcp/internal/units"
+)
+
+// scenarioFile is the JSON scenario format accepted by -config. Durations
+// are human-readable strings ("4s", "800ms"); omitted fields keep the
+// preset's value. Example:
+//
+//	{
+//	  "preset": "wan",
+//	  "scheme": "ebsn",
+//	  "packet_size_bytes": 1536,
+//	  "mean_bad": "4s",
+//	  "transfer_kb": 100,
+//	  "sack": true,
+//	  "seed": 7
+//	}
+type scenarioFile struct {
+	Preset          string `json:"preset"` // "wan" (default) or "lan"
+	Scheme          string `json:"scheme"`
+	PacketSizeBytes int    `json:"packet_size_bytes"`
+	TransferKB      int64  `json:"transfer_kb"`
+	WindowKB        int    `json:"window_kb"`
+	MeanGood        string `json:"mean_good"`
+	MeanBad         string `json:"mean_bad"`
+	Deterministic   bool   `json:"deterministic"`
+	Variant         string `json:"variant"` // tahoe (default), reno, newreno
+	DelayedAcks     bool   `json:"delayed_acks"`
+	SACK            bool   `json:"sack"`
+	ECN             bool   `json:"ecn"`
+	NotifyEvery     int    `json:"notify_every"`
+	CrossTrafficPct int    `json:"cross_traffic_pct"` // % of wired capacity
+	Seed            int64  `json:"seed"`
+	CollectTrace    bool   `json:"collect_trace"`
+}
+
+// loadScenario reads and validates a JSON scenario into a runnable
+// configuration.
+func loadScenario(path string) (core.Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("read scenario: %w", err)
+	}
+	var sf scenarioFile
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sf); err != nil {
+		return core.Config{}, fmt.Errorf("parse scenario %s: %w", path, err)
+	}
+	return sf.build()
+}
+
+// build converts the file into a core.Config.
+func (sf scenarioFile) build() (core.Config, error) {
+	scheme := bs.Basic
+	if sf.Scheme != "" {
+		s, err := bs.ParseScheme(sf.Scheme)
+		if err != nil {
+			return core.Config{}, err
+		}
+		scheme = s
+	}
+	meanBad := 2 * time.Second
+	if sf.MeanBad != "" {
+		d, err := time.ParseDuration(sf.MeanBad)
+		if err != nil {
+			return core.Config{}, fmt.Errorf("mean_bad: %w", err)
+		}
+		meanBad = d
+	}
+
+	var cfg core.Config
+	switch sf.Preset {
+	case "", "wan":
+		size := units.ByteSize(576)
+		if sf.PacketSizeBytes > 0 {
+			size = units.ByteSize(sf.PacketSizeBytes)
+		}
+		cfg = core.WAN(scheme, size, meanBad)
+	case "lan":
+		cfg = core.LAN(scheme, meanBad)
+		if sf.PacketSizeBytes > 0 {
+			cfg.PacketSize = units.ByteSize(sf.PacketSizeBytes)
+		}
+	default:
+		return core.Config{}, fmt.Errorf("unknown preset %q (want wan or lan)", sf.Preset)
+	}
+
+	if sf.MeanGood != "" {
+		d, err := time.ParseDuration(sf.MeanGood)
+		if err != nil {
+			return core.Config{}, fmt.Errorf("mean_good: %w", err)
+		}
+		cfg.Channel.MeanGood = d
+	}
+	cfg.Channel.Deterministic = sf.Deterministic
+	if sf.TransferKB > 0 {
+		cfg.TransferSize = units.ByteSize(sf.TransferKB) * units.KB
+	}
+	if sf.WindowKB > 0 {
+		cfg.Window = units.ByteSize(sf.WindowKB) * units.KB
+	}
+	switch sf.Variant {
+	case "", "tahoe":
+	case "reno":
+		cfg.Variant = tcp.Reno
+	case "newreno":
+		cfg.Variant = tcp.NewReno
+	default:
+		return core.Config{}, fmt.Errorf("unknown variant %q", sf.Variant)
+	}
+	cfg.DelayedAcks = sf.DelayedAcks
+	cfg.SACK = sf.SACK
+	cfg.ECN = sf.ECN
+	cfg.NotifyEvery = sf.NotifyEvery
+	if sf.CrossTrafficPct > 0 {
+		cfg.CrossTraffic = core.CrossTraffic{
+			Rate: units.BitRate(float64(sf.CrossTrafficPct) / 100 * float64(cfg.WiredRate)),
+		}
+	}
+	if sf.Seed != 0 {
+		cfg.Seed = sf.Seed
+	}
+	cfg.CollectTrace = sf.CollectTrace
+	return cfg, cfg.Validate()
+}

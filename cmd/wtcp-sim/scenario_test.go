@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/tcp"
+	"wtcp/internal/units"
+)
+
+func writeScenario(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadScenarioFull(t *testing.T) {
+	path := writeScenario(t, `{
+		"preset": "wan",
+		"scheme": "ebsn",
+		"packet_size_bytes": 1536,
+		"transfer_kb": 50,
+		"window_kb": 8,
+		"mean_good": "8s",
+		"mean_bad": "3s",
+		"deterministic": true,
+		"variant": "newreno",
+		"delayed_acks": true,
+		"sack": true,
+		"ecn": true,
+		"notify_every": 2,
+		"cross_traffic_pct": 30,
+		"seed": 42,
+		"collect_trace": true
+	}`)
+	cfg, err := loadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Scheme != bs.EBSN || cfg.PacketSize != 1536 {
+		t.Errorf("scheme/packet = %v/%v", cfg.Scheme, cfg.PacketSize)
+	}
+	if cfg.TransferSize != 50*units.KB || cfg.Window != 8*units.KB {
+		t.Errorf("transfer/window = %v/%v", cfg.TransferSize, cfg.Window)
+	}
+	if cfg.Channel.MeanGood != 8*time.Second || cfg.Channel.MeanBad != 3*time.Second {
+		t.Errorf("channel = %+v", cfg.Channel)
+	}
+	if !cfg.Channel.Deterministic || !cfg.DelayedAcks || !cfg.SACK || !cfg.ECN || !cfg.CollectTrace {
+		t.Error("boolean options not applied")
+	}
+	if cfg.Variant != tcp.NewReno || cfg.NotifyEvery != 2 || cfg.Seed != 42 {
+		t.Errorf("variant/notify/seed = %v/%d/%d", cfg.Variant, cfg.NotifyEvery, cfg.Seed)
+	}
+	if cfg.CrossTraffic.Rate != units.BitRate(0.3*56000) {
+		t.Errorf("cross traffic = %v", cfg.CrossTraffic.Rate)
+	}
+}
+
+func TestLoadScenarioLANDefaults(t *testing.T) {
+	path := writeScenario(t, `{"preset": "lan", "scheme": "basic", "mean_bad": "800ms"}`)
+	cfg, err := loadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.WirelessRate != 2*units.Mbps || cfg.PacketSize != 1536 {
+		t.Errorf("LAN preset not applied: %v/%v", cfg.WirelessRate, cfg.PacketSize)
+	}
+}
+
+func TestLoadScenarioRejections(t *testing.T) {
+	tests := []struct {
+		name string
+		body string
+	}{
+		{"bad json", `{`},
+		{"unknown field", `{"bogus": 1}`},
+		{"unknown preset", `{"preset": "moon"}`},
+		{"unknown scheme", `{"scheme": "bogus"}`},
+		{"unknown variant", `{"variant": "vegas"}`},
+		{"bad duration", `{"mean_bad": "sometimes"}`},
+		{"invalid config", `{"packet_size_bytes": 10}`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			path := writeScenario(t, tt.body)
+			if _, err := loadScenario(path); err == nil {
+				t.Error("invalid scenario accepted")
+			}
+		})
+	}
+	if _, err := loadScenario("/nonexistent/path.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunWithConfigFile(t *testing.T) {
+	path := writeScenario(t, `{"scheme": "ebsn", "mean_bad": "2s", "transfer_kb": 20}`)
+	out, err := capture(t, func() error { return run([]string{"-config", path}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "scheme=ebsn") || !strings.Contains(out, "throughput") {
+		t.Errorf("config-file run output:\n%s", out)
+	}
+}
+
+func TestRunWithConfigFileReplications(t *testing.T) {
+	path := writeScenario(t, `{"scheme": "basic", "transfer_kb": 20, "seed": 5}`)
+	out, err := capture(t, func() error { return run([]string{"-config", path, "-reps", "3"}) })
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "sd ") {
+		t.Errorf("replicated config run shows no deviation:\n%s", out)
+	}
+}

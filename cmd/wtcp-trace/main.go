@@ -1,0 +1,85 @@
+// Command wtcp-trace reproduces the paper's packet-trace figures
+// (Figures 3-5): a 576-byte-packet transfer over the deterministic
+// good-10s/bad-4s channel, plotted as packet number (mod 90) against send
+// time.
+//
+//	wtcp-trace -scheme basic          # Figure 3
+//	wtcp-trace -scheme localrecovery  # Figure 4
+//	wtcp-trace -scheme ebsn -csv      # Figure 5 as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/experiment"
+	"wtcp/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wtcp-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wtcp-trace", flag.ContinueOnError)
+	var (
+		schemeName = fs.String("scheme", "basic", "scheme: basic (Fig 3) | localrecovery (Fig 4) | ebsn (Fig 5) | sourcequench | snoop")
+		horizon    = fs.Duration("horizon", 60*time.Second, "observation window")
+		width      = fs.Int("width", 100, "plot width in characters")
+		height     = fs.Int("height", 30, "plot height in characters")
+		csv        = fs.Bool("csv", false, "emit CSV scatter data instead of ASCII art")
+		cwnd       = fs.Bool("cwnd", false, "plot congestion-window evolution instead of the packet trace")
+		compare    = fs.Bool("compare", false, "render basic TCP and EBSN side by side (Figures 3 vs 5)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *compare {
+		basic, err := experiment.TraceFigure(bs.Basic, *horizon)
+		if err != nil {
+			return err
+		}
+		ebsn, err := experiment.TraceFigure(bs.EBSN, *horizon)
+		if err != nil {
+			return err
+		}
+		fmt.Print(trace.RenderComparison(
+			fmt.Sprintf("Fig 3: basic TCP (%d timeouts)", basic.Summary.Timeouts), basic.Trace,
+			fmt.Sprintf("Fig 5: EBSN (%d timeouts)", ebsn.Summary.Timeouts), ebsn.Trace,
+			*width/2, *height, *horizon))
+		return nil
+	}
+	scheme, err := bs.ParseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	r, err := experiment.TraceFigure(scheme, *horizon)
+	if err != nil {
+		return err
+	}
+	if *cwnd {
+		if *csv {
+			fmt.Print(r.Cwnd.CSV())
+			return nil
+		}
+		fmt.Printf("congestion window evolution: %s, deterministic channel good=10s bad=4s\n", scheme)
+		fmt.Print(r.Cwnd.RenderASCII(*width, *height, *horizon))
+		fmt.Printf("window collapses to one segment: %d\n", r.Cwnd.Collapses(536))
+		return nil
+	}
+	if *csv {
+		fmt.Print(r.Trace.CSV())
+		return nil
+	}
+	fmt.Printf("packet trace: %s, deterministic channel good=10s bad=4s, 576B packets, 4KB window\n", scheme)
+	fmt.Print(r.Trace.RenderASCII(*width, *height, *horizon))
+	fmt.Printf("source timeouts %d | source retransmissions %d | fast retransmits %d | EBSN resets %d\n",
+		r.Summary.Timeouts, r.Sender.RetransSegments, r.Summary.FastRetransmits, r.Summary.EBSNResets)
+	return nil
+}

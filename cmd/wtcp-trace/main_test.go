@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string, 1)
+	go func() {
+		buf := new(strings.Builder)
+		chunk := make([]byte, 1<<16)
+		for {
+			n, err := r.Read(chunk)
+			buf.Write(chunk[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- buf.String()
+	}()
+	runErr := fn()
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return <-done, runErr
+}
+
+func TestTraceASCII(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-scheme", "basic", "-width", "60", "-height", "15"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"packet trace: basic", "packet number mod 90", "source timeouts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%.400s", want, out)
+		}
+	}
+}
+
+func TestTraceCSVMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-scheme", "ebsn", "-csv"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.HasPrefix(out, "time_sec,packet_mod_90,kind") {
+		t.Errorf("CSV output malformed:\n%.200s", out)
+	}
+}
+
+func TestTraceRejectsBogusScheme(t *testing.T) {
+	if _, err := capture(t, func() error { return run([]string{"-scheme", "bogus"}) }); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}
+
+func TestTraceCompareMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-compare", "-width", "80", "-height", "12"})
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out, "Fig 3: basic TCP") || !strings.Contains(out, "Fig 5: EBSN (0 timeouts)") {
+		t.Errorf("comparison output malformed:\n%.300s", out)
+	}
+}

@@ -1,0 +1,55 @@
+// Local-area EBSN study: LAN round-trip times are tiny, so a TCP source
+// is *more* exposed to spurious timeouts during local recovery — the
+// paper's argument for why a wireless LAN is an ideal EBSN deployment.
+// This example reproduces the Figure 10/11 comparison at a few bad-period
+// lengths.
+//
+//	go run ./examples/lan-ebsn
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/core"
+	"wtcp/internal/units"
+)
+
+func main() {
+	fmt.Println("4MB transfer, 10 Mbps wire + 2 Mbps radio, 64KB window, 1536B packets")
+	fmt.Printf("%-10s %-22s %-22s %10s\n", "bad", "basic TCP", "TCP + EBSN", "tput_th")
+	for _, bad := range []time.Duration{
+		400 * time.Millisecond, 800 * time.Millisecond,
+		1200 * time.Millisecond, 1600 * time.Millisecond,
+	} {
+		basic := mustRun(core.LAN(bs.Basic, bad))
+		ebsn := mustRun(core.LAN(bs.EBSN, bad))
+		th := core.LAN(bs.Basic, bad).TheoreticalMaxKbps() / 1000
+		fmt.Printf("%-10s %8.3f Mbps (%2d TO) %8.3f Mbps (%2d TO) %7.3f Mbps\n",
+			bad,
+			basic.Summary.ThroughputMbps, basic.Summary.Timeouts,
+			ebsn.Summary.ThroughputMbps, ebsn.Summary.Timeouts,
+			th)
+	}
+	fmt.Println("\nretransmitted data (the Figure 11 series):")
+	for _, bad := range []time.Duration{800 * time.Millisecond, 1600 * time.Millisecond} {
+		basic := mustRun(core.LAN(bs.Basic, bad))
+		ebsn := mustRun(core.LAN(bs.EBSN, bad))
+		fmt.Printf("  bad=%v: basic %.0f KB, EBSN %.0f KB (of %d KB sent)\n",
+			bad, basic.Summary.RetransmittedKB(), ebsn.Summary.RetransmittedKB(),
+			4*units.MB/units.KB)
+	}
+}
+
+func mustRun(cfg core.Config) *core.Result {
+	r, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !r.Completed {
+		log.Fatalf("transfer did not complete for %+v", cfg.Scheme)
+	}
+	return r
+}

@@ -1,0 +1,50 @@
+// Multi-connection scheduling: several TCP transfers share the base
+// station's radio while their mobile hosts fade independently. Reproduces
+// the related-work comparison the paper summarizes in §2 [Bhagwat et al.,
+// INFOCOM 95]: FIFO service suffers head-of-line blocking; round-robin
+// isolates a fading connection; channel-state-dependent scheduling (CSDP)
+// does best but depends on the predictor's accuracy.
+//
+//	go run ./examples/multiconn
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wtcp/internal/experiment"
+	"wtcp/internal/multiconn"
+)
+
+func main() {
+	points, err := experiment.CSDPStudy(experiment.CSDPOptions{
+		Connections:  4,
+		Replications: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiment.RenderCSDPTable(
+		"4 TCP connections sharing a 2 Mbps radio, independent per-user fading", points))
+
+	fmt.Println("predictor-accuracy sensitivity (bad period 1s):")
+	for _, acc := range []float64{1.0, 0.9, 0.75, 0.5} {
+		var agg float64
+		const reps = 3
+		for seed := int64(1); seed <= reps; seed++ {
+			cfg := multiconn.LANDefaults(4, multiconn.CSDP, time.Second)
+			cfg.PredictorAccuracy = acc
+			cfg.Seed = seed
+			r, err := multiconn.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			agg += r.AggregateKbps / reps
+		}
+		fmt.Printf("  accuracy %.2f: %7.0f Kbps aggregate\n", acc, agg)
+	}
+	fmt.Println("\nThe original study's caveat — \"the performance improvement achievable")
+	fmt.Println("depends mostly on the accuracy of the channel state predictor\" — is")
+	fmt.Println("directly visible in the sweep above.")
+}

@@ -1,0 +1,45 @@
+// Quickstart: run one 100 KB transfer over the paper's wide-area wireless
+// topology with basic TCP, then again with EBSN, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/core"
+)
+
+func main() {
+	// The paper's Figure 2 setup: fixed host -> 56 kbps wire -> base
+	// station -> 19.2 kbps radio (12.8 kbps effective) -> mobile host,
+	// with a bursty channel averaging 10 s good / 4 s bad.
+	const packetSize = 576 // the IP default the paper highlights
+	badPeriod := 4 * time.Second
+
+	basic, err := core.Run(core.WAN(bs.Basic, packetSize, badPeriod))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ebsn, err := core.Run(core.WAN(bs.EBSN, packetSize, badPeriod))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	th := core.WAN(bs.Basic, packetSize, badPeriod).TheoreticalMaxKbps()
+	fmt.Printf("100KB over a bursty wireless hop (mean good 10s, mean bad %v):\n\n", badPeriod)
+	fmt.Printf("%-22s %12s %9s %12s %9s\n", "", "throughput", "goodput", "retransmit", "timeouts")
+	print := func(name string, r *core.Result) {
+		fmt.Printf("%-22s %9.2f Kbps %9.3f %9.1f KB %9d\n",
+			name, r.Summary.ThroughputKbps, r.Summary.Goodput,
+			r.Summary.RetransmittedKB(), r.Summary.Timeouts)
+	}
+	print("basic TCP", basic)
+	print("TCP + EBSN", ebsn)
+	fmt.Printf("\ntheoretical maximum (tput_th): %.2f Kbps\n", th)
+	fmt.Printf("EBSN improvement: %.0f%%\n",
+		100*(ebsn.Summary.ThroughputKbps-basic.Summary.ThroughputKbps)/basic.Summary.ThroughputKbps)
+}

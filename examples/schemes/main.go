@@ -1,0 +1,56 @@
+// Scheme shoot-out: every base-station behaviour in the repository —
+// basic forwarding, local recovery, EBSN, ICMP source quench (the paper's
+// negative result), and a simplified snoop agent (related work) — under
+// identical wide-area error conditions, averaged over replications.
+//
+//	go run ./examples/schemes
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/core"
+	"wtcp/internal/stats"
+)
+
+func main() {
+	const reps = 5
+	bad := 4 * time.Second
+	fmt.Printf("100KB, 576B packets, mean good 10s / bad %v, %d replications\n\n", bad, reps)
+	fmt.Printf("%-15s %12s %9s %12s %9s\n", "scheme", "throughput", "goodput", "retransmit", "timeouts")
+
+	for _, scheme := range bs.Schemes() {
+		var tput, goodput, retrans, timeouts stats.Sample
+		for seed := int64(1); seed <= reps; seed++ {
+			cfg := core.WAN(scheme, 576, bad)
+			cfg.Seed = seed
+			r, err := core.Run(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !r.Completed {
+				log.Fatalf("%v seed %d did not complete", scheme, seed)
+			}
+			tput.Add(r.Summary.ThroughputKbps)
+			goodput.Add(r.Summary.Goodput)
+			retrans.Add(r.Summary.RetransmittedKB())
+			timeouts.Add(float64(r.Summary.Timeouts))
+		}
+		fmt.Printf("%-15s %7.2f Kbps %9.3f %9.1f KB %9.1f\n",
+			scheme, tput.Mean(), goodput.Mean(), retrans.Mean(), timeouts.Mean())
+	}
+
+	th := core.WAN(bs.Basic, 576, bad).TheoreticalMaxKbps()
+	fmt.Printf("\ntheoretical maximum: %.2f Kbps\n", th)
+	fmt.Println(`
+Reading the table (paper sections 2, 4.2, 5):
+ - local recovery lifts throughput but the source still times out;
+ - source quench throttles the window yet cannot stop those timeouts;
+ - EBSN keeps resetting the retransmission timer and reaches ~tput_th
+   with goodput ~1.0 and no state at the base station;
+ - snoop keeps transport state at the base station and still struggles
+   with long burst losses (its local timer interacts with the fade).`)
+}

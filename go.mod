@@ -1,0 +1,3 @@
+module wtcp
+
+go 1.22

@@ -1,0 +1,26 @@
+package analytic_test
+
+import (
+	"fmt"
+	"time"
+
+	"wtcp/internal/analytic"
+)
+
+// Example computes the paper's theoretical ceilings for the wide-area
+// setup: the raw tput_th the figures mark, and the payload-only ceiling
+// an ideal EBSN run approaches at a given packet size.
+func Example() {
+	const effectiveRate = 12800 // 19.2 kbps radio, 1.5x overhead
+	good, bad := 10*time.Second, 4*time.Second
+	fmt.Printf("tput_th:           %.2f Kbps\n",
+		analytic.TputThKbps(effectiveRate, good, bad))
+	fmt.Printf("EBSN ceiling @1536: %.2f Kbps\n",
+		analytic.EBSNCeilingKbps(effectiveRate, 1536, good, bad))
+	fmt.Printf("header efficiency @128: %.3f\n",
+		analytic.HeaderEfficiency(128))
+	// Output:
+	// tput_th:           9.14 Kbps
+	// EBSN ceiling @1536: 8.90 Kbps
+	// header efficiency @128: 0.688
+}

@@ -1,0 +1,262 @@
+package bs
+
+import (
+	"time"
+
+	"wtcp/internal/packet"
+	"wtcp/internal/sim"
+)
+
+// arqEngine is the local-recovery link protocol: pipelined per-unit
+// stop-and-wait with link-level acknowledgments.
+//
+// Up to Window link units are outstanding at once (pipelining keeps the
+// radio busy, so recovery does not itself sacrifice throughput). Each unit
+// gets an acknowledgment timer armed when the unit finishes serializing;
+// an expiry is an "unsuccessful attempt": the base station notifies the
+// source (EBSN / quench schemes), waits a uniform random backoff, and
+// retransmits — up to RTmax retransmissions, after which the whole network
+// packet is discarded (all of its units withdrawn), per the CDPD-style
+// protocol the paper adopts.
+type arqEngine struct {
+	bs  *BaseStation
+	cfg ARQConfig
+
+	// pendingUnits holds link units not yet transmitted, FIFO across
+	// packets.
+	pendingUnits []*packet.Packet
+	// outstanding maps unit ID -> in-flight attempt state.
+	outstanding map[uint64]*arqEntry
+	// packetUnits maps network-packet ID -> number of its units still
+	// unacknowledged (pending, outstanding, or backing off); when it
+	// reaches zero the packet has fully crossed the wireless hop.
+	packetUnits map[uint64]int
+	// discarded marks packets withdrawn after RTmax; their stray timers
+	// and acks are ignored.
+	discarded map[uint64]bool
+	// nextLinkSeq numbers units so the mobile host can restore
+	// in-sequence delivery (retransmission backoffs reorder the air).
+	nextLinkSeq int64
+	// connUnits counts unacknowledged units per connection, so a failed
+	// attempt can notify every source whose data is held up (identical
+	// to the single-connection behaviour when only one source exists).
+	connUnits map[int]int
+	// packetConn remembers each admitted packet's connection for the
+	// decrement on completion/discard.
+	packetConn map[uint64]int
+}
+
+// arqEntry tracks one outstanding (or backing-off) unit.
+type arqEntry struct {
+	unit     *packet.Packet
+	attempts int // transmissions so far
+	timer    *sim.Timer
+	// backingOff marks the gap between an unsuccessful attempt and the
+	// retransmission; the entry does not count toward the window then.
+	backingOff bool
+}
+
+func newARQEngine(b *BaseStation, cfg ARQConfig) *arqEngine {
+	e := &arqEngine{
+		bs:          b,
+		cfg:         cfg,
+		outstanding: make(map[uint64]*arqEntry),
+		packetUnits: make(map[uint64]int),
+		discarded:   make(map[uint64]bool),
+		connUnits:   make(map[int]int),
+		packetConn:  make(map[uint64]int),
+	}
+	// Arm acknowledgment timers from the instant a unit leaves the
+	// transmitter, not when it was queued.
+	b.down.SetTxDoneHook(e.onTxDone)
+	return e
+}
+
+// backlogPackets reports how many network packets are still crossing the
+// wireless hop.
+func (e *arqEngine) backlogPackets() int { return len(e.packetUnits) }
+
+// admit accepts a data packet from the wired side, or refuses it when the
+// hold queue is full.
+func (e *arqEngine) admit(p *packet.Packet) bool {
+	if len(e.packetUnits) >= e.bs.cfg.QueueLimit {
+		return false
+	}
+	units := e.bs.units(p)
+	e.packetUnits[p.ID] = len(units)
+	e.packetConn[p.ID] = p.Conn
+	e.connUnits[p.Conn] += len(units)
+	for _, u := range units {
+		e.nextLinkSeq++
+		u.LinkSeq = e.nextLinkSeq
+	}
+	e.pendingUnits = append(e.pendingUnits, units...)
+	e.fill()
+	return true
+}
+
+// inFlight counts entries holding a window slot. Backing-off entries keep
+// their slot: releasing it would let the whole backlog cycle through
+// failed attempts during a fade, marching every queued packet toward the
+// RTmax discard instead of only the window's head — the FIFO-ish
+// behaviour the paper's protocol has.
+func (e *arqEngine) inFlight() int { return len(e.outstanding) }
+
+// fill transmits pending units while window slots are free.
+func (e *arqEngine) fill() {
+	for e.inFlight() < e.cfg.Window && len(e.pendingUnits) > 0 {
+		u := e.pendingUnits[0]
+		e.pendingUnits[0] = nil
+		e.pendingUnits = e.pendingUnits[1:]
+		if e.discarded[e.unitPacketID(u)] {
+			continue
+		}
+		e.transmit(u, 1)
+	}
+}
+
+// unitPacketID returns the network-packet ID a unit belongs to.
+func (e *arqEngine) unitPacketID(u *packet.Packet) uint64 {
+	if u.Kind == packet.Fragment {
+		return u.FragOf
+	}
+	return u.ID
+}
+
+// transmit puts a unit on the air and registers its attempt state.
+func (e *arqEngine) transmit(u *packet.Packet, attempt int) {
+	en := &arqEntry{unit: u, attempts: attempt}
+	id := u.ID
+	en.timer = sim.NewTimer(e.bs.sim, func() { e.onAckTimeout(id) })
+	e.outstanding[id] = en
+	e.bs.stats.ARQAttempts++
+	// The ack timer is armed by onTxDone when serialization finishes. If
+	// the link refuses the unit outright (full queue), treat that as an
+	// immediate unsuccessful attempt.
+	if !e.bs.down.Send(u) {
+		en.timer.Set(0)
+	}
+}
+
+// onTxDone fires when the downlink finishes serializing any packet; arm
+// the corresponding ack timer.
+func (e *arqEngine) onTxDone(p *packet.Packet) {
+	if en, ok := e.outstanding[p.ID]; ok && !en.backingOff {
+		en.timer.Set(e.cfg.AckTimeout)
+	}
+}
+
+// onLinkAck handles a link-level acknowledgment for unit id.
+func (e *arqEngine) onLinkAck(id uint64) {
+	en, ok := e.outstanding[id]
+	if !ok {
+		return // stale ack (unit already acked or its packet discarded)
+	}
+	en.timer.Stop()
+	delete(e.outstanding, id)
+	pid := e.unitPacketID(en.unit)
+	if n, ok := e.packetUnits[pid]; ok {
+		if n <= 1 {
+			delete(e.packetUnits, pid)
+		} else {
+			e.packetUnits[pid] = n - 1
+		}
+		e.decrConn(pid, 1)
+	}
+	e.fill()
+}
+
+// decrConn reduces a connection's held-up unit count by n units of the
+// given packet.
+func (e *arqEngine) decrConn(pid uint64, n int) {
+	conn, ok := e.packetConn[pid]
+	if !ok {
+		return
+	}
+	e.connUnits[conn] -= n
+	if e.connUnits[conn] <= 0 {
+		delete(e.connUnits, conn)
+	}
+	if _, still := e.packetUnits[pid]; !still {
+		delete(e.packetConn, pid)
+	}
+}
+
+// heldUpConns lists the connections with units still crossing the hop.
+func (e *arqEngine) heldUpConns() []int {
+	out := make([]int, 0, len(e.connUnits))
+	for conn := range e.connUnits {
+		out = append(out, conn)
+	}
+	return out
+}
+
+// onAckTimeout declares an attempt unsuccessful: notify the source, then
+// back off and retransmit or discard the whole packet after RTmax
+// retransmissions.
+func (e *arqEngine) onAckTimeout(id uint64) {
+	en, ok := e.outstanding[id]
+	if !ok {
+		return
+	}
+	e.bs.stats.ARQTimeouts++
+	// Notify every source whose data the hop is holding up — with one
+	// connection this is exactly the paper's "notify the source"; with
+	// several, bystanders queued behind the failure need the timer push
+	// just as much.
+	e.bs.notifyFailureAll(en.unit.Conn, e.heldUpConns())
+
+	if en.attempts > e.cfg.RTmax { // initial try + RTmax retransmissions
+		e.discardPacket(e.unitPacketID(en.unit))
+		return
+	}
+	// Back off, then retransmit. The entry frees its window slot during
+	// the backoff so other units keep the radio busy.
+	en.backingOff = true
+	backoff := time.Duration(e.bs.rng.Float64() * float64(e.cfg.BackoffMax))
+	en.timer = sim.NewTimer(e.bs.sim, func() { e.retransmit(id) })
+	en.timer.Set(backoff)
+	e.fill()
+}
+
+// retransmit re-sends a unit after its backoff.
+func (e *arqEngine) retransmit(id uint64) {
+	en, ok := e.outstanding[id]
+	if !ok {
+		return
+	}
+	if e.discarded[e.unitPacketID(en.unit)] {
+		delete(e.outstanding, id)
+		return
+	}
+	en.backingOff = false
+	en.attempts++
+	en.timer = sim.NewTimer(e.bs.sim, func() { e.onAckTimeout(id) })
+	e.bs.stats.ARQAttempts++
+	if !e.bs.down.Send(en.unit) {
+		en.timer.Set(0)
+	}
+}
+
+// discardPacket withdraws every unit of the given network packet.
+func (e *arqEngine) discardPacket(pid uint64) {
+	e.bs.stats.ARQDiscards++
+	e.discarded[pid] = true
+	if n, ok := e.packetUnits[pid]; ok {
+		conn := e.packetConn[pid]
+		delete(e.packetUnits, pid)
+		delete(e.packetConn, pid)
+		e.connUnits[conn] -= n
+		if e.connUnits[conn] <= 0 {
+			delete(e.connUnits, conn)
+		}
+	}
+	for id, en := range e.outstanding {
+		if e.unitPacketID(en.unit) == pid {
+			en.timer.Stop()
+			delete(e.outstanding, id)
+		}
+	}
+	// Pending units of the packet are skipped lazily in fill().
+	e.fill()
+}

@@ -1,0 +1,110 @@
+package bs
+
+import (
+	"testing"
+	"time"
+
+	"wtcp/internal/packet"
+)
+
+func TestARQLinkSeqMonotonicAcrossPackets(t *testing.T) {
+	b := newBench(t, Config{Scheme: LocalRecovery, MTU: 128}, nil)
+	b.bs.FromWired(b.dataPacket(0))
+	b.bs.FromWired(b.dataPacket(576))
+	if err := b.s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.mhGot) != 10 {
+		t.Fatalf("delivered %d units, want 10", len(b.mhGot))
+	}
+	seen := map[int64]bool{}
+	var max int64
+	for _, u := range b.mhGot {
+		if u.LinkSeq <= 0 {
+			t.Fatalf("unit without link sequence: %+v", u)
+		}
+		if seen[u.LinkSeq] {
+			t.Fatalf("duplicate link sequence %d", u.LinkSeq)
+		}
+		seen[u.LinkSeq] = true
+		if u.LinkSeq > max {
+			max = u.LinkSeq
+		}
+	}
+	if max != 10 {
+		t.Errorf("max link seq = %d, want 10", max)
+	}
+}
+
+func TestARQLateLinkAckAfterDiscardIgnored(t *testing.T) {
+	ch := scriptChannel{bad: func(time.Duration) bool { return true }}
+	cfg := Config{Scheme: LocalRecovery, MTU: 600, ARQ: ARQConfig{RTmax: 2, Window: 1}}
+	b := newBench(t, cfg, ch)
+	p := &packet.Packet{ID: b.ids.Next(), Kind: packet.Data, Seq: 0, Payload: 100}
+	b.bs.FromWired(p)
+	if err := b.s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if b.bs.Stats().ARQDiscards != 1 {
+		t.Fatalf("discards = %d", b.bs.Stats().ARQDiscards)
+	}
+	// A straggler link ack for the discarded unit must be harmless.
+	b.bs.FromWireless(&packet.Packet{Kind: packet.LinkAck, AckNo: int64(p.ID + 1)})
+	if err := b.s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if b.bs.Backlog() != 0 {
+		t.Error("late ack resurrected discarded state")
+	}
+}
+
+func TestARQNewPacketAfterDiscardStillFlows(t *testing.T) {
+	// The channel heals after the first packet has been discarded; a
+	// subsequent packet must traverse cleanly (no poisoned state).
+	healAt := 5 * time.Second
+	ch := scriptChannel{bad: func(ts time.Duration) bool { return ts < healAt }}
+	cfg := Config{Scheme: LocalRecovery, MTU: 600, ARQ: ARQConfig{RTmax: 2, Window: 1, BackoffMax: 100 * time.Millisecond}}
+	b := newBench(t, cfg, ch)
+	b.bs.FromWired(&packet.Packet{ID: b.ids.Next(), Kind: packet.Data, Seq: 0, Payload: 100})
+	if err := b.s.Run(healAt); err != nil {
+		t.Fatal(err)
+	}
+	if b.bs.Stats().ARQDiscards != 1 {
+		t.Fatalf("first packet not discarded: %+v", b.bs.Stats())
+	}
+	before := len(b.mhGot)
+	b.bs.FromWired(&packet.Packet{ID: b.ids.Next(), Kind: packet.Data, Seq: 576, Payload: 100})
+	if err := b.s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.mhGot) != before+1 {
+		t.Errorf("second packet not delivered after discard: %d -> %d", before, len(b.mhGot))
+	}
+	if b.bs.Backlog() != 0 {
+		t.Errorf("backlog = %d", b.bs.Backlog())
+	}
+}
+
+func TestNotifyEveryThinsEBSNs(t *testing.T) {
+	ch := scriptChannel{bad: func(ts time.Duration) bool { return ts < 3*time.Second }}
+	dense := newBench(t, Config{Scheme: EBSN, MTU: 128}, ch)
+	dense.bs.FromWired(dense.dataPacket(0))
+	if err := dense.s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	ch2 := scriptChannel{bad: func(ts time.Duration) bool { return ts < 3*time.Second }}
+	sparse := newBench(t, Config{Scheme: EBSN, MTU: 128, NotifyEvery: 3}, ch2)
+	sparse.bs.FromWired(sparse.dataPacket(0))
+	if err := sparse.s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	d, s := dense.bs.Stats(), sparse.bs.Stats()
+	if d.EBSNsSent == 0 {
+		t.Fatal("no EBSNs in the dense run")
+	}
+	// Thinning to every 3rd failure sends roughly a third as many.
+	if s.EBSNsSent*2 >= d.EBSNsSent {
+		t.Errorf("thinned EBSNs = %d vs dense %d (timeouts %d/%d)",
+			s.EBSNsSent, d.EBSNsSent, s.ARQTimeouts, d.ARQTimeouts)
+	}
+}

@@ -1,0 +1,135 @@
+package bs
+
+import (
+	"sort"
+
+	"wtcp/internal/packet"
+	"wtcp/internal/sim"
+	"wtcp/internal/units"
+)
+
+// snoopAgent is a simplified transport-aware snoop module [Balakrishnan
+// 95], implemented as a related-work baseline. It caches data segments
+// crossing toward the mobile host and performs local retransmissions when
+// it sees duplicate TCP acknowledgments (suppressing them toward the
+// source) or when a local persistence timer expires. Unlike the paper's
+// schemes it must keep per-connection transport state at the base station
+// — the operational cost the paper's proposals avoid.
+//
+// Simplifications versus the full snoop protocol (documented in
+// DESIGN.md): a single connection, no wireless-RTT estimator (a fixed
+// local timeout), and at most one local retransmission per dupack burst.
+type snoopAgent struct {
+	bs  *BaseStation
+	cfg SnoopConfig
+
+	// cache maps segment start seq -> the cached segment.
+	cache map[int64]*cachedSeg
+	// lastAck is the highest cumulative ack seen from the mobile host.
+	lastAck int64
+	// dupacks counts consecutive duplicates of lastAck.
+	dupacks int
+	// timer is the persistence timer for the oldest cached segment.
+	timer *sim.Timer
+}
+
+type cachedSeg struct {
+	seq     int64
+	payload units.ByteSize
+	pkt     *packet.Packet
+	// locallyRetransmitted marks segments the agent has already re-sent
+	// since the last ack advance, limiting dupack-triggered re-sends.
+	locallyRetransmitted bool
+}
+
+func newSnoopAgent(b *BaseStation, cfg SnoopConfig) *snoopAgent {
+	a := &snoopAgent{
+		bs:    b,
+		cfg:   cfg,
+		cache: make(map[int64]*cachedSeg),
+	}
+	a.timer = sim.NewTimer(b.sim, a.onLocalTimeout)
+	return a
+}
+
+// admit caches a data segment and forwards it onto the wireless link.
+func (a *snoopAgent) admit(p *packet.Packet) {
+	if len(a.cache) < a.cfg.MaxCached {
+		// A retransmission from the source replaces the cached copy and
+		// clears the local-retransmit mark.
+		a.cache[p.Seq] = &cachedSeg{seq: p.Seq, payload: p.Payload, pkt: p}
+	}
+	a.bs.forwardBasic(p)
+	if !a.timer.Pending() {
+		a.timer.Set(a.cfg.LocalTimeout)
+	}
+}
+
+// filterAck inspects a TCP ack from the mobile host. It returns true when
+// the ack should be suppressed (a dupack the agent is handling locally).
+func (a *snoopAgent) filterAck(p *packet.Packet) bool {
+	switch {
+	case p.AckNo > a.lastAck:
+		// New ack: free the cache below it, reset dup state, re-arm the
+		// persistence timer.
+		a.lastAck = p.AckNo
+		a.dupacks = 0
+		for seq := range a.cache {
+			if seq < p.AckNo {
+				delete(a.cache, seq)
+			}
+		}
+		if len(a.cache) == 0 {
+			a.timer.Stop()
+		} else {
+			a.timer.Set(a.cfg.LocalTimeout)
+		}
+		return false
+	case p.AckNo == a.lastAck:
+		a.dupacks++
+		seg, ok := a.cache[p.AckNo]
+		if !ok {
+			// We never saw the missing segment; the source must handle
+			// it. Forward the dupack.
+			return false
+		}
+		if !seg.locallyRetransmitted {
+			seg.locallyRetransmitted = true
+			a.localRetransmit(seg)
+		}
+		// Suppress the dupack: the loss is being repaired locally.
+		a.bs.stats.SnoopSuppressedDupAcks++
+		return true
+	default:
+		// Ack below lastAck: stale; forward (harmless).
+		return false
+	}
+}
+
+// onLocalTimeout retransmits the oldest cached segment.
+func (a *snoopAgent) onLocalTimeout() {
+	if len(a.cache) == 0 {
+		return
+	}
+	seqs := make([]int64, 0, len(a.cache))
+	for seq := range a.cache {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	a.localRetransmit(a.cache[seqs[0]])
+	a.timer.Set(a.cfg.LocalTimeout)
+}
+
+// localRetransmit re-sends a cached segment over the wireless hop.
+func (a *snoopAgent) localRetransmit(seg *cachedSeg) {
+	a.bs.stats.SnoopLocalRetx++
+	copy := &packet.Packet{
+		ID:         a.bs.ids.Next(),
+		Kind:       packet.Data,
+		Seq:        seg.seq,
+		Payload:    seg.payload,
+		Retransmit: true,
+		SentAt:     a.bs.sim.Now(),
+	}
+	a.bs.forwardBasic(copy)
+}

@@ -1,0 +1,538 @@
+// Package core is the library's composition layer: it wires the paper's
+// Figure 2 topology — a TCP source in a fixed host (FH), a base station
+// (BS) bridging a wired and a wireless link, and a TCP sink in a mobile
+// host (MH) — and runs one bulk transfer under a chosen base-station
+// scheme, returning every measurement the evaluation needs.
+//
+//	FH ──wired──▶ BS ──wireless──▶ MH
+//	FH ◀─wired─── BS ◀─wireless─── MH
+//
+// Presets reproduce the paper's two environments: a wide-area network
+// (56 kbps wire, 19.2 kbps radio with 1.5x overhead, 128-byte MTU, 4 KB
+// window, 100 KB transfer) and a local-area network (10 Mbps wire, 2 Mbps
+// radio, no fragmentation, 64 KB window, 4 MB transfer).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/errmodel"
+	"wtcp/internal/link"
+	"wtcp/internal/metrics"
+	"wtcp/internal/node"
+	"wtcp/internal/packet"
+	"wtcp/internal/queue"
+	"wtcp/internal/sim"
+	"wtcp/internal/tcp"
+	"wtcp/internal/trace"
+	"wtcp/internal/units"
+)
+
+// Config fully describes one simulation run.
+type Config struct {
+	// Scheme selects the base-station behaviour.
+	Scheme bs.Scheme
+	// PacketSize is the wired-network packet size (payload + 40-byte
+	// header) — the paper's swept parameter, 128..1536 bytes.
+	PacketSize units.ByteSize
+	// TransferSize is the bulk payload to move end to end.
+	TransferSize units.ByteSize
+	// Window is the receiver's advertised window.
+	Window units.ByteSize
+
+	// WiredRate/WiredDelay parameterize the FH-BS link (both directions).
+	WiredRate  units.BitRate
+	WiredDelay time.Duration
+	// WirelessRate/WirelessDelay/WirelessOverhead parameterize the BS-MH
+	// link (both directions). Overhead is the on-air byte multiplier
+	// (1.5 in the paper's WAN).
+	WirelessRate     units.BitRate
+	WirelessDelay    time.Duration
+	WirelessOverhead float64
+	// MTU is the wireless fragmentation threshold; zero disables
+	// fragmentation.
+	MTU units.ByteSize
+
+	// Channel is the burst-error model for the wireless hop. Both
+	// directions share one channel process by default (a fade hits the
+	// medium); see UplinkChannel for asymmetry.
+	Channel errmodel.Config
+	// UplinkChannel, when non-nil, gives the MH->BS direction its own
+	// independent error process — the paper notes wireless errors are
+	// "highly sensitive to direction of propagation". Nil shares the
+	// downlink's process.
+	UplinkChannel *errmodel.Config
+
+	// ARQ and Snoop tune the base station. Zero values use defaults; the
+	// ARQ acknowledgment timeout, if unset, is derived from the link
+	// parameters.
+	ARQ   bs.ARQConfig
+	Snoop bs.SnoopConfig
+
+	// TCP tuning. Zero values use the paper's defaults (100 ms clock,
+	// 3 s initial RTO, Tahoe, per-segment ACKs).
+	Granularity time.Duration
+	InitialRTO  time.Duration
+	Variant     tcp.Variant
+	// DelayedAcks enables RFC 1122 delayed acknowledgments at the sink
+	// (an ablation; the paper's ns sink acks every segment).
+	DelayedAcks bool
+	// ECN enables congestion marking at the wired queue (CE on packets
+	// admitted past half occupancy) with [Floyd 94] window-halving at
+	// the source — the §6 future-work interaction study with EBSN.
+	ECN bool
+	// NotifyEvery thins the EBSN/quench stream to every Nth failed
+	// attempt (0/1 = the paper's every-attempt behaviour).
+	NotifyEvery int
+	// SACK enables selective acknowledgments at both endpoints (an
+	// ablation; the paper's TCP predates RFC 2018). It mitigates the
+	// go-back-N cost of multi-loss windows — the TCP-side alternative to
+	// pushing recovery into the base station.
+	SACK bool
+
+	// CrossTraffic injects competing load on the wired forward link —
+	// the congested-wire scenario the paper defers to future work
+	// ("we are separately studying the impact of congestion in the wired
+	// network on the effectiveness of EBSN"). Zero value = no cross
+	// traffic.
+	CrossTraffic CrossTraffic
+
+	// Seed drives all randomness in the run (channel, corruption draws,
+	// ARQ backoff).
+	Seed int64
+	// Horizon caps virtual time as a runaway guard; zero uses a generous
+	// default.
+	Horizon time.Duration
+	// CollectTrace records the Figure 3-5 packet trace.
+	CollectTrace bool
+}
+
+// DefaultHorizon bounds a run that fails to complete (e.g. a pathological
+// parameter choice); generous relative to the paper's ~minute transfers.
+const DefaultHorizon = 4 * time.Hour
+
+// CrossTraffic describes Poisson background load sharing the wired
+// forward link's queue with the connection under study. The packets are
+// routed elsewhere (they consume wired bandwidth and queue slots, then
+// leave at the base station), so their only effect is congestion: added
+// queueing delay and drop pressure on the studied connection.
+type CrossTraffic struct {
+	// Rate is the average offered load.
+	Rate units.BitRate
+	// PacketSize is the cross-traffic packet size (default 576 bytes).
+	PacketSize units.ByteSize
+}
+
+// enabled reports whether any load is configured.
+func (c CrossTraffic) enabled() bool { return c.Rate > 0 }
+
+// withDefaults fills the packet size.
+func (c CrossTraffic) withDefaults() CrossTraffic {
+	if c.PacketSize <= 0 {
+		c.PacketSize = 576
+	}
+	return c
+}
+
+// crossConn marks cross-traffic packets; the base-station side discards
+// them after they have crossed (and congested) the wired link.
+const crossConn = -1
+
+// Paper constants.
+const (
+	// PaperHeader is the TCP/IP header size (40 bytes).
+	PaperHeader = packet.HeaderSize
+	// PaperWANPacketDefault is the IP default datagram size the paper
+	// highlights (576 bytes).
+	PaperWANPacketDefault units.ByteSize = 576
+)
+
+// WAN returns the paper's wide-area configuration for a given scheme,
+// wired packet size, and mean bad-period length.
+func WAN(scheme bs.Scheme, packetSize units.ByteSize, meanBad time.Duration) Config {
+	return Config{
+		Scheme:           scheme,
+		PacketSize:       packetSize,
+		TransferSize:     100 * units.KB,
+		Window:           4 * units.KB,
+		WiredRate:        56 * units.Kbps,
+		WiredDelay:       50 * time.Millisecond,
+		WirelessRate:     link.BitRateWirelessWAN,
+		WirelessDelay:    5 * time.Millisecond,
+		WirelessOverhead: 1.5,
+		MTU:              128,
+		Channel:          errmodel.PaperWAN(meanBad),
+		Seed:             1,
+	}
+}
+
+// LAN returns the paper's local-area configuration for a given scheme and
+// mean bad-period length (packet size fixed at 1536 bytes, no
+// fragmentation).
+func LAN(scheme bs.Scheme, meanBad time.Duration) Config {
+	return Config{
+		Scheme:        scheme,
+		PacketSize:    1536,
+		TransferSize:  4 * units.MB,
+		Window:        64 * units.KB,
+		WiredRate:     10 * units.Mbps,
+		WiredDelay:    time.Millisecond,
+		WirelessRate:  2 * units.Mbps,
+		WirelessDelay: time.Millisecond,
+		MTU:           0,
+		Channel:       errmodel.PaperLAN(meanBad),
+		// LAN link-protocol timing. The source's RTO sits at its 200 ms
+		// floor on a LAN, so the EBSN stream (one per failed attempt)
+		// must arrive well inside 200 ms: short ack timeouts and short
+		// backoffs give a ~60-80 ms per-unit retry cycle. RTmax = 13 is
+		// CDPD's wide-area constant; at this cycle it would give up after
+		// ~1 s, inside ordinary fades, so the LAN preset allows 64
+		// retransmissions (~5 s of persistence, outlasting the paper's
+		// 0.4-1.6 s mean fades).
+		ARQ: bs.ARQConfig{
+			RTmax:      64,
+			BackoffMax: 100 * time.Millisecond,
+		},
+		Seed: 1,
+	}
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	switch {
+	case c.PacketSize <= PaperHeader:
+		return fmt.Errorf("core: packet size %d does not exceed the %d-byte header", c.PacketSize, PaperHeader)
+	case c.TransferSize <= 0:
+		return errors.New("core: nothing to transfer")
+	case c.Window < c.PacketSize-PaperHeader:
+		return errors.New("core: window below one segment")
+	case c.WiredRate <= 0 || c.WirelessRate <= 0:
+		return errors.New("core: links need positive rates")
+	case c.WirelessOverhead < 0:
+		return errors.New("core: negative wireless overhead")
+	case c.MTU < 0:
+		return errors.New("core: negative MTU")
+	default:
+		return c.Channel.Validate()
+	}
+}
+
+// MSS reports the TCP payload per segment implied by the packet size.
+func (c Config) MSS() units.ByteSize { return c.PacketSize - PaperHeader }
+
+// EffectiveWirelessRate reports the post-overhead data rate of the
+// wireless hop (12.8 kbps for the paper's WAN radio).
+func (c Config) EffectiveWirelessRate() units.BitRate {
+	if c.WirelessOverhead <= 1 {
+		return c.WirelessRate
+	}
+	return units.BitRate(float64(c.WirelessRate) / c.WirelessOverhead)
+}
+
+// TheoreticalMaxKbps reports the paper's tput_th: the effective wireless
+// rate scaled by the channel's good-time fraction.
+func (c Config) TheoreticalMaxKbps() float64 {
+	return float64(c.EffectiveWirelessRate()) / 1000 * c.Channel.GoodFraction()
+}
+
+// Result carries everything measured in one run.
+type Result struct {
+	// Config echoes the run parameters.
+	Config Config
+	// Completed reports whether the transfer finished before the horizon.
+	Completed bool
+	// Summary holds the paper's metrics (throughput, goodput,
+	// retransmitted data).
+	Summary metrics.Summary
+	// Sender, Sink, BS, Mobile, WirelessDown, WirelessUp expose raw
+	// component counters for deeper analysis.
+	Sender       tcp.Stats
+	Sink         tcp.SinkStats
+	BS           bs.Stats
+	Mobile       node.MobileStats
+	WirelessDown link.Stats
+	WirelessUp   link.Stats
+	// Trace and Cwnd are non-nil when Config.CollectTrace was set: the
+	// packet trace of Figures 3-5 and the congestion-window evolution
+	// series.
+	Trace *trace.Trace
+	Cwnd  *trace.CwndSeries
+
+	// SplitWireless holds the base station's wireless-side sender
+	// counters for split-connection runs (nil otherwise); SplitWiredDone
+	// is when the fixed host's half finished — before the mobile host
+	// had the data, the end-to-end-semantics violation the paper points
+	// out.
+	SplitWireless  *tcp.Stats
+	SplitWiredDone time.Duration
+}
+
+// Run executes one simulation and returns its measurements.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = DefaultHorizon
+	}
+	if cfg.Scheme == bs.SplitConnection {
+		return runSplit(cfg)
+	}
+
+	tp, err := newTopology(cfg, false)
+	if err != nil {
+		return nil, err
+	}
+
+	var tr *trace.Trace
+	var cw *trace.CwndSeries
+	if cfg.CollectTrace {
+		tr = trace.New(cfg.MSS())
+		cw = trace.NewCwndSeries()
+		hooks := tr.Hooks(tp.sim.Now)
+		hooks.OnCwnd = cw.Hook(tp.sim.Now)
+		tp.sender.SetHooks(hooks)
+	}
+
+	tp.sender.Start()
+	for !tp.sender.Done() && tp.sim.Now() < cfg.Horizon {
+		if !tp.sim.Step() {
+			break
+		}
+	}
+
+	res := tp.result(cfg)
+	res.Trace = tr
+	res.Cwnd = cw
+	return res, nil
+}
+
+// topology is the assembled Figure 2 network, reused by the bulk runner
+// (Run) and the application-workload runners (RunWeb, RunTelnet).
+type topology struct {
+	sim    *sim.Simulator
+	ids    *packet.IDGen
+	sender *tcp.Sender
+	sink   *tcp.Sink
+	bs     *bs.BaseStation
+	mobile *node.Mobile
+
+	wiredFwd, wiredRev       *link.Link
+	wirelessDown, wirelessUp *link.Link
+}
+
+// result assembles the standard measurement record.
+func (tp *topology) result(cfg Config) *Result {
+	res := &Result{
+		Config:       cfg,
+		Completed:    tp.sender.Done(),
+		Sender:       tp.sender.Stats(),
+		Sink:         tp.sink.Stats(),
+		BS:           tp.bs.Stats(),
+		Mobile:       tp.mobile.Stats(),
+		WirelessDown: tp.wirelessDown.Stats(),
+		WirelessUp:   tp.wirelessUp.Stats(),
+	}
+	elapsed := tp.sender.FinishedAt()
+	if !res.Completed {
+		elapsed = tp.sim.Now()
+	}
+	res.Summary = metrics.Summarize(cfg.TransferSize, cfg.MSS(), res.Sender, elapsed)
+	return res
+}
+
+// newTopology wires the FH-BS-MH network. streaming opens the sender with
+// no data available (application workloads grant bytes as they produce
+// them).
+func newTopology(cfg Config, streaming bool) (*topology, error) {
+	s := sim.New()
+	ids := &packet.IDGen{}
+	rng := sim.NewRNG(cfg.Seed)
+
+	channel, err := errmodel.NewMarkov(cfg.Channel, rng.Split())
+	if err != nil {
+		return nil, err
+	}
+	var upChannel errmodel.Channel = channel
+	if cfg.UplinkChannel != nil {
+		up, err := errmodel.NewMarkov(*cfg.UplinkChannel, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		upChannel = up
+	}
+
+	// Forward declarations so the delivery closures can reference agents
+	// wired later.
+	var (
+		station *bs.BaseStation
+		mobile  *node.Mobile
+		sender  *tcp.Sender
+	)
+
+	// Links. Queue limits: the wired hop models a router queue; the
+	// wireless queues are managed by the base station itself (ARQ window
+	// or plain FIFO), so they stay unbounded here.
+	var red *queue.REDConfig
+	var wiredRNG *sim.RNG
+	if cfg.ECN {
+		// RED on the wired router queue: thresholds at 20%/70% of the
+		// 50-packet buffer, classic 10% ceiling probability. The weight
+		// is coarse because arrivals are slow at 56 kbps.
+		red = &queue.REDConfig{MinThreshold: 10, MaxThreshold: 35, MaxP: 0.1, Weight: 0.2}
+		wiredRNG = rng.Split()
+	}
+	wiredFwd, err := link.New(s, link.Config{
+		Name: "wired-fwd", Rate: cfg.WiredRate, Delay: cfg.WiredDelay, QueueLimit: 50,
+		RED: red,
+	}, wiredRNG, func(p *packet.Packet) {
+		if p.Conn == crossConn {
+			return // background traffic exits at the base station
+		}
+		station.FromWired(p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CrossTraffic.enabled() {
+		startCrossTraffic(s, cfg.CrossTraffic.withDefaults(), ids, rng.Split(), wiredFwd, cfg.Horizon)
+	}
+	wiredRev, err := link.New(s, link.Config{
+		Name: "wired-rev", Rate: cfg.WiredRate, Delay: cfg.WiredDelay, QueueLimit: 50,
+	}, nil, func(p *packet.Packet) { sender.Receive(p) })
+	if err != nil {
+		return nil, err
+	}
+	wirelessDown, err := link.New(s, link.Config{
+		Name: "wireless-down", Rate: cfg.WirelessRate, Delay: cfg.WirelessDelay,
+		Overhead: cfg.WirelessOverhead, Channel: channel,
+	}, rng.Split(), func(p *packet.Packet) { mobile.Receive(p) })
+	if err != nil {
+		return nil, err
+	}
+	wirelessUp, err := link.New(s, link.Config{
+		Name: "wireless-up", Rate: cfg.WirelessRate, Delay: cfg.WirelessDelay,
+		Overhead: cfg.WirelessOverhead, Channel: upChannel,
+	}, rng.Split(), func(p *packet.Packet) { station.FromWireless(p) })
+	if err != nil {
+		return nil, err
+	}
+
+	// Base station. ARQ defaults are resolved here so the mobile host's
+	// reorder timer can be sized from the same values.
+	arqCfg := cfg.ARQ
+	if arqCfg.AckTimeout <= 0 {
+		arqCfg.AckTimeout = deriveAckTimeout(wirelessDown, wirelessUp)
+	}
+	arqCfg = arqCfg.WithDefaults()
+	station, err = bs.New(s, bs.Config{
+		Scheme:      cfg.Scheme,
+		MTU:         cfg.MTU,
+		ARQ:         arqCfg,
+		Snoop:       cfg.Snoop,
+		NotifyEvery: cfg.NotifyEvery,
+	}, ids, rng.Split(), wirelessDown, func(p *packet.Packet) { wiredRev.Send(p) })
+	if err != nil {
+		return nil, err
+	}
+
+	// Mobile host: sink + reassembly + link acks.
+	sink, err := tcp.NewSink(s, cfg.Window, ids, func(p *packet.Packet) { wirelessUp.Send(p) })
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DelayedAcks {
+		sink.EnableDelayedAcks(0)
+	}
+	if cfg.SACK {
+		sink.EnableSACK()
+	}
+	mobile, err = node.NewMobile(s, node.MobileConfig{
+		LinkAcks:       cfg.Scheme.UsesLinkAcks(),
+		ReorderTimeout: deriveReorderTimeout(arqCfg),
+	}, ids, sink, func(p *packet.Packet) { wirelessUp.Send(p) })
+	if err != nil {
+		return nil, err
+	}
+
+	// Fixed host: the TCP source.
+	sender, err = tcp.NewSender(s, tcp.Config{
+		MSS:         cfg.MSS(),
+		Window:      cfg.Window,
+		Total:       cfg.TransferSize,
+		Granularity: cfg.Granularity,
+		InitialRTO:  cfg.InitialRTO,
+		Variant:     cfg.Variant,
+		SACK:        cfg.SACK,
+		Streaming:   streaming,
+	}, ids, func(p *packet.Packet) { wiredFwd.Send(p) })
+	if err != nil {
+		return nil, err
+	}
+
+	return &topology{
+		sim:          s,
+		ids:          ids,
+		sender:       sender,
+		sink:         sink,
+		bs:           station,
+		mobile:       mobile,
+		wiredFwd:     wiredFwd,
+		wiredRev:     wiredRev,
+		wirelessDown: wirelessDown,
+		wirelessUp:   wirelessUp,
+	}, nil
+}
+
+// deriveAckTimeout computes a link-ack deadline from the radio timing: the
+// ack's serialization plus both propagation delays, with slack for an
+// ack-path queue (a TCP ack ahead of the link ack on the uplink).
+func deriveAckTimeout(down, up *link.Link) time.Duration {
+	ackTx := up.TxTime(packet.ControlSize)
+	slack := 4*ackTx + 20*time.Millisecond
+	return down.Delay() + up.Delay() + ackTx + slack
+}
+
+// startCrossTraffic schedules a Poisson packet stream into the wired
+// forward link until the horizon. Tail drops of cross-traffic packets are
+// part of the model (a congested queue drops whoever arrives late).
+func startCrossTraffic(s *sim.Simulator, ct CrossTraffic, ids *packet.IDGen, rng *sim.RNG, l *link.Link, horizon time.Duration) {
+	meanGap := float64(units.TransmissionTime(ct.PacketSize, ct.Rate))
+	var next func()
+	next = func() {
+		if s.Now() >= horizon {
+			return
+		}
+		l.Send(&packet.Packet{
+			ID:      ids.Next(),
+			Kind:    packet.Data,
+			Conn:    crossConn,
+			Payload: ct.PacketSize - packet.HeaderSize,
+			SentAt:  s.Now(),
+		})
+		s.Schedule(time.Duration(rng.Exp(meanGap)), next)
+	}
+	s.Schedule(time.Duration(rng.Exp(meanGap)), next)
+}
+
+// deriveReorderTimeout sizes the mobile host's gap-flush timer to a couple
+// of full ARQ retry cycles: shorter would flush gaps the ARQ is about to
+// fill; much longer only delays recovery of a discarded packet.
+func deriveReorderTimeout(arq bs.ARQConfig) time.Duration {
+	cycle := arq.AckTimeout + arq.BackoffMax
+	if cycle <= 0 {
+		return 0 // let the node default apply
+	}
+	d := 3 * cycle
+	const lo, hi = 500 * time.Millisecond, 3 * time.Second
+	if d < lo {
+		d = lo
+	}
+	if d > hi {
+		d = hi
+	}
+	return d
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/units"
+)
+
+// congested returns a WAN config with heavy wired cross traffic.
+func congested(scheme bs.Scheme, ecn bool, seed int64) Config {
+	cfg := WAN(scheme, 576, 2*time.Second)
+	cfg.TransferSize = 60 * units.KB
+	cfg.CrossTraffic = CrossTraffic{Rate: units.BitRate(0.8 * float64(cfg.WiredRate))}
+	cfg.ECN = ecn
+	cfg.Seed = seed
+	return cfg
+}
+
+func TestCrossTrafficSlowsTheTransfer(t *testing.T) {
+	clean := WAN(bs.EBSN, 576, 2*time.Second)
+	clean.TransferSize = 60 * units.KB
+	rc, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded := congested(bs.EBSN, false, 1)
+	rl, err := Run(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rc.Completed || !rl.Completed {
+		t.Fatal("runs did not complete")
+	}
+	if rl.Summary.ThroughputKbps >= rc.Summary.ThroughputKbps {
+		t.Errorf("80%% cross traffic did not slow the transfer: %.2f vs %.2f kbps",
+			rl.Summary.ThroughputKbps, rc.Summary.ThroughputKbps)
+	}
+}
+
+func TestECNMarksAndSenderResponds(t *testing.T) {
+	// Under heavy wired load with ECN on, the queue must mark packets
+	// and the source must react at least once.
+	var responses uint64
+	for seed := int64(1); seed <= 3; seed++ {
+		r, err := Run(congested(bs.EBSN, true, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Completed {
+			t.Fatal("did not complete")
+		}
+		responses += r.Sender.ECNResponses
+	}
+	if responses == 0 {
+		t.Error("no ECN responses under 80% wired load")
+	}
+}
+
+func TestECNOffMeansNoResponses(t *testing.T) {
+	r, err := Run(congested(bs.EBSN, false, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sender.ECNResponses != 0 {
+		t.Errorf("ECNResponses = %d with ECN disabled", r.Sender.ECNResponses)
+	}
+}
+
+func TestECNAndEBSNCoexist(t *testing.T) {
+	// The paper's §6 question: EBSN (wireless-loss timer protection) and
+	// ECN (wired congestion signal) address disjoint events, so enabling
+	// both keeps EBSN's core property — wireless fades cause no
+	// timeouts beyond what congestion itself causes — while the source
+	// still yields to wired congestion.
+	var ebsnOnly, both uint64
+	for seed := int64(1); seed <= 3; seed++ {
+		a, err := Run(congested(bs.EBSN, false, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(congested(bs.EBSN, true, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ebsnOnly += a.Summary.Timeouts
+		both += b.Summary.Timeouts
+	}
+	// ECN must not make timeouts worse (it prevents some queue drops by
+	// signalling early).
+	if both > ebsnOnly+1 {
+		t.Errorf("ECN+EBSN timeouts %d well above EBSN-only %d", both, ebsnOnly)
+	}
+}

@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/core"
+)
+
+// Example runs the paper's headline comparison at its default operating
+// point: a 100 KB transfer over the wide-area topology with 4 s mean
+// fades, first with plain TCP-Tahoe and then with EBSN.
+func Example() {
+	basic, err := core.Run(core.WAN(bs.Basic, 576, 4*time.Second))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	ebsn, err := core.Run(core.WAN(bs.EBSN, 576, 4*time.Second))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("basic timeouts > 0: %v\n", basic.Summary.Timeouts > 0)
+	fmt.Printf("ebsn timeouts:      %d\n", ebsn.Summary.Timeouts)
+	fmt.Printf("ebsn faster:        %v\n",
+		ebsn.Summary.ThroughputKbps > basic.Summary.ThroughputKbps)
+	// Output:
+	// basic timeouts > 0: true
+	// ebsn timeouts:      0
+	// ebsn faster:        true
+}
+
+// ExampleConfig_TheoreticalMaxKbps shows the paper's tput_th values for
+// the wide-area sweep.
+func ExampleConfig_TheoreticalMaxKbps() {
+	for _, bad := range []time.Duration{time.Second, 4 * time.Second} {
+		cfg := core.WAN(bs.Basic, 576, bad)
+		fmt.Printf("bad=%v tput_th=%.2f Kbps\n", bad, cfg.TheoreticalMaxKbps())
+	}
+	// Output:
+	// bad=1s tput_th=11.64 Kbps
+	// bad=4s tput_th=9.14 Kbps
+}
+
+// ExampleRun_deterministicTrace reproduces the Figure 5 claim: under the
+// deterministic fade schedule, EBSN eliminates every source timeout.
+func ExampleRun_deterministicTrace() {
+	cfg := core.WAN(bs.EBSN, core.PaperWANPacketDefault, 4*time.Second)
+	cfg.Channel.Deterministic = true
+	cfg.CollectTrace = true
+	r, err := core.Run(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("timeouts=%d source-retransmissions=%d ebsn-resets>0: %v\n",
+		r.Summary.Timeouts, r.Sender.RetransSegments, r.Summary.EBSNResets > 0)
+	// Output:
+	// timeouts=0 source-retransmissions=0 ebsn-resets>0: true
+}

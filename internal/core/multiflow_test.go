@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/units"
+)
+
+func multiFlowBase(scheme bs.Scheme) MultiFlowConfig {
+	base := WAN(scheme, 576, 2*time.Second)
+	base.TransferSize = 20 * units.KB // per flow, for test speed
+	return MultiFlowConfig{Base: base, Flows: 3}
+}
+
+func TestMultiFlowValidation(t *testing.T) {
+	cfg := multiFlowBase(bs.EBSN)
+	cfg.Flows = 0
+	if _, err := RunMultiFlow(cfg); err == nil {
+		t.Error("zero flows accepted")
+	}
+	for _, scheme := range []bs.Scheme{bs.Snoop, bs.SplitConnection} {
+		cfg := multiFlowBase(scheme)
+		if _, err := RunMultiFlow(cfg); err == nil {
+			t.Errorf("%v accepted for multi-flow", scheme)
+		}
+	}
+	bad := multiFlowBase(bs.EBSN)
+	bad.Base.PacketSize = 10
+	if _, err := RunMultiFlow(bad); err == nil {
+		t.Error("invalid base config accepted")
+	}
+}
+
+func TestMultiFlowAllComplete(t *testing.T) {
+	for _, scheme := range []bs.Scheme{bs.Basic, bs.LocalRecovery, bs.EBSN} {
+		r, err := RunMultiFlow(multiFlowBase(scheme))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Completed {
+			t.Fatalf("%v: not all flows completed", scheme)
+		}
+		if len(r.PerFlow) != 3 {
+			t.Fatalf("PerFlow = %d", len(r.PerFlow))
+		}
+		for i, f := range r.PerFlow {
+			if !f.Completed || f.ThroughputKbps <= 0 {
+				t.Errorf("%v flow %d: %+v", scheme, i, f)
+			}
+		}
+	}
+}
+
+func TestMultiFlowEBSNRoutedPerFlow(t *testing.T) {
+	// Every flow's source must receive EBSNs (the notification is
+	// addressed from the failing packet, not broadcast or dropped).
+	cfg := multiFlowBase(bs.EBSN)
+	cfg.Base.Channel.MeanBad = 4 * time.Second
+	r, err := RunMultiFlow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed {
+		t.Fatal("did not complete")
+	}
+	if r.BS.EBSNsSent == 0 {
+		t.Fatal("no EBSNs under a bursty channel")
+	}
+	flowsWithResets := 0
+	var totalTimeouts uint64
+	for _, f := range r.PerFlow {
+		if f.EBSNResets > 0 {
+			flowsWithResets++
+		}
+		totalTimeouts += f.Timeouts
+	}
+	if flowsWithResets < 2 {
+		t.Errorf("only %d/3 flows saw EBSN resets (routing broken?)", flowsWithResets)
+	}
+	// EBSN still suppresses timeouts with multiple flows.
+	basic := multiFlowBase(bs.Basic)
+	basic.Base.Channel.MeanBad = 4 * time.Second
+	rb, err := RunMultiFlow(basic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var basicTimeouts uint64
+	for _, f := range rb.PerFlow {
+		basicTimeouts += f.Timeouts
+	}
+	if totalTimeouts >= basicTimeouts && basicTimeouts > 0 {
+		t.Errorf("EBSN timeouts %d not below basic %d across flows", totalTimeouts, basicTimeouts)
+	}
+}
+
+func TestMultiFlowEBSNBeatsBasicAggregate(t *testing.T) {
+	agg := func(scheme bs.Scheme) float64 {
+		var sum float64
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := multiFlowBase(scheme)
+			cfg.Base.Channel.MeanBad = 4 * time.Second
+			cfg.Base.Seed = seed
+			r, err := RunMultiFlow(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += r.AggregateKbps / 3
+		}
+		return sum
+	}
+	basic := agg(bs.Basic)
+	ebsn := agg(bs.EBSN)
+	if ebsn <= basic {
+		t.Errorf("multi-flow EBSN aggregate %.2f not above basic %.2f", ebsn, basic)
+	}
+}
+
+func TestMultiFlowFairness(t *testing.T) {
+	r, err := RunMultiFlow(multiFlowBase(bs.EBSN))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fairness < 0.6 || r.Fairness > 1.0000001 {
+		t.Errorf("Jain fairness = %v across identical flows", r.Fairness)
+	}
+}
+
+func TestMultiFlowSingleFlowMatchesRunRoughly(t *testing.T) {
+	// A multi-flow run with one flow is the same system as Run (modulo
+	// the shared-queue scaling); throughput should land close.
+	mf := MultiFlowConfig{Base: WAN(bs.EBSN, 576, 2*time.Second), Flows: 1}
+	mf.Base.TransferSize = 30 * units.KB
+	rm, err := RunMultiFlow(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := WAN(bs.EBSN, 576, 2*time.Second)
+	single.TransferSize = 30 * units.KB
+	rs, err := Run(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := rm.AggregateKbps, rs.Summary.ThroughputKbps
+	if a < b*0.7 || a > b*1.3 {
+		t.Errorf("one-flow multi-flow %.2f far from Run %.2f", a, b)
+	}
+}

@@ -1,0 +1,127 @@
+// Package distrib provides the random distributions workload models draw
+// from: constant, uniform, exponential, Pareto (the classic heavy tail of
+// web object sizes), and lognormal. Every distribution samples through
+// the simulation's seeded RNG, so runs stay reproducible.
+package distrib
+
+import (
+	"errors"
+	"math"
+
+	"wtcp/internal/sim"
+)
+
+// Distribution is a positive-valued random variable.
+type Distribution interface {
+	// Sample draws one value using rng.
+	Sample(rng *sim.RNG) float64
+	// Mean reports the distribution's expectation (for sizing
+	// transfers and sanity checks).
+	Mean() float64
+}
+
+// Constant is a degenerate distribution.
+type Constant float64
+
+var _ Distribution = Constant(0)
+
+// Sample implements Distribution.
+func (c Constant) Sample(*sim.RNG) float64 { return float64(c) }
+
+// Mean implements Distribution.
+func (c Constant) Mean() float64 { return float64(c) }
+
+// Uniform draws uniformly from [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+var _ Distribution = Uniform{}
+
+// Sample implements Distribution.
+func (u Uniform) Sample(rng *sim.RNG) float64 {
+	return u.Lo + rng.Float64()*(u.Hi-u.Lo)
+}
+
+// Mean implements Distribution.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Exponential has the given mean.
+type Exponential struct {
+	MeanValue float64
+}
+
+var _ Distribution = Exponential{}
+
+// Sample implements Distribution.
+func (e Exponential) Sample(rng *sim.RNG) float64 { return rng.Exp(e.MeanValue) }
+
+// Mean implements Distribution.
+func (e Exponential) Mean() float64 { return e.MeanValue }
+
+// Pareto is the heavy-tailed distribution with density
+// shape*scale^shape/x^(shape+1) for x >= scale. Web object sizes are
+// classically Pareto with shape ~1.2-1.5 — rare huge pages dominate the
+// tail, which is exactly what stresses recovery schemes.
+type Pareto struct {
+	// Shape (alpha) controls tail heaviness; must exceed 1 for a finite
+	// mean.
+	Shape float64
+	// Scale (x_min) is the minimum value.
+	Scale float64
+}
+
+var _ Distribution = Pareto{}
+
+// NewPareto validates the parameters.
+func NewPareto(shape, scale float64) (Pareto, error) {
+	if shape <= 1 {
+		return Pareto{}, errors.New("distrib: Pareto shape must exceed 1 for a finite mean")
+	}
+	if scale <= 0 {
+		return Pareto{}, errors.New("distrib: Pareto scale must be positive")
+	}
+	return Pareto{Shape: shape, Scale: scale}, nil
+}
+
+// Sample implements Distribution via inverse-CDF.
+func (p Pareto) Sample(rng *sim.RNG) float64 {
+	u := rng.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return p.Scale / math.Pow(1-u, 1/p.Shape)
+}
+
+// Mean implements Distribution: shape*scale/(shape-1).
+func (p Pareto) Mean() float64 {
+	if p.Shape <= 1 {
+		return math.Inf(1)
+	}
+	return p.Shape * p.Scale / (p.Shape - 1)
+}
+
+// ParetoWithMean builds a Pareto with the given shape whose mean is m.
+func ParetoWithMean(shape, m float64) (Pareto, error) {
+	if shape <= 1 || m <= 0 {
+		return Pareto{}, errors.New("distrib: need shape > 1 and positive mean")
+	}
+	return Pareto{Shape: shape, Scale: m * (shape - 1) / shape}, nil
+}
+
+// Lognormal has parameters mu and sigma of the underlying normal.
+type Lognormal struct {
+	Mu, Sigma float64
+}
+
+var _ Distribution = Lognormal{}
+
+// Sample implements Distribution.
+func (l Lognormal) Sample(rng *sim.RNG) float64 {
+	return math.Exp(l.Mu + l.Sigma*rng.Norm())
+}
+
+// Mean implements Distribution: exp(mu + sigma^2/2).
+func (l Lognormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}

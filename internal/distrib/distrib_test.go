@@ -1,0 +1,140 @@
+package distrib
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"wtcp/internal/sim"
+)
+
+// empiricalMean draws n samples and averages.
+func empiricalMean(d Distribution, n int, seed int64) float64 {
+	rng := sim.NewRNG(seed)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += d.Sample(rng)
+	}
+	return sum / float64(n)
+}
+
+func TestConstant(t *testing.T) {
+	c := Constant(7.5)
+	if c.Mean() != 7.5 || c.Sample(sim.NewRNG(1)) != 7.5 {
+		t.Error("constant distribution wrong")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := Uniform{Lo: 2, Hi: 6}
+	if u.Mean() != 4 {
+		t.Errorf("Mean = %v", u.Mean())
+	}
+	rng := sim.NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		v := u.Sample(rng)
+		if v < 2 || v >= 6 {
+			t.Fatalf("sample %v outside [2,6)", v)
+		}
+	}
+	if m := empiricalMean(u, 100000, 4); math.Abs(m-4) > 0.05 {
+		t.Errorf("empirical mean = %v", m)
+	}
+}
+
+func TestExponential(t *testing.T) {
+	e := Exponential{MeanValue: 3}
+	if e.Mean() != 3 {
+		t.Errorf("Mean = %v", e.Mean())
+	}
+	if m := empiricalMean(e, 200000, 5); math.Abs(m-3) > 0.05 {
+		t.Errorf("empirical mean = %v", m)
+	}
+}
+
+func TestParetoValidation(t *testing.T) {
+	if _, err := NewPareto(1.0, 1); err == nil {
+		t.Error("shape 1 accepted (infinite mean)")
+	}
+	if _, err := NewPareto(1.5, 0); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := ParetoWithMean(0.9, 5); err == nil {
+		t.Error("sub-unit shape accepted")
+	}
+	if _, err := ParetoWithMean(1.5, -1); err == nil {
+		t.Error("negative mean accepted")
+	}
+}
+
+func TestParetoMeanAndFloor(t *testing.T) {
+	p, err := NewPareto(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mean() != 6 { // 2*3/(2-1)
+		t.Errorf("Mean = %v, want 6", p.Mean())
+	}
+	rng := sim.NewRNG(6)
+	for i := 0; i < 1000; i++ {
+		if v := p.Sample(rng); v < 3 {
+			t.Fatalf("sample %v below scale", v)
+		}
+	}
+	// Empirical mean converges slowly for heavy tails; accept 15%.
+	if m := empiricalMean(p, 400000, 7); math.Abs(m-6)/6 > 0.15 {
+		t.Errorf("empirical mean = %v, want ~6", m)
+	}
+}
+
+func TestParetoWithMeanHitsTarget(t *testing.T) {
+	p, err := ParetoWithMean(2.5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Mean()-10) > 1e-9 {
+		t.Errorf("Mean = %v, want 10", p.Mean())
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	// The defining property: the tail dominates. Compare the p99/p50
+	// ratio against an exponential of the same mean.
+	pareto, err := ParetoWithMean(1.3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo := Exponential{MeanValue: 10}
+	ratio := func(d Distribution, seed int64) float64 {
+		rng := sim.NewRNG(seed)
+		const n = 50000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = d.Sample(rng)
+		}
+		sort.Float64s(xs)
+		return xs[n*99/100] / xs[n/2]
+	}
+	pr := ratio(pareto, 8)
+	er := ratio(expo, 9)
+	if pr <= 2*er {
+		t.Errorf("Pareto p99/p50 = %.1f not far above exponential's %.1f", pr, er)
+	}
+}
+
+func TestLognormal(t *testing.T) {
+	l := Lognormal{Mu: 1, Sigma: 0.5}
+	want := math.Exp(1 + 0.125)
+	if math.Abs(l.Mean()-want) > 1e-9 {
+		t.Errorf("Mean = %v, want %v", l.Mean(), want)
+	}
+	if m := empiricalMean(l, 300000, 10); math.Abs(m-want)/want > 0.03 {
+		t.Errorf("empirical mean = %v, want ~%v", m, want)
+	}
+	rng := sim.NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		if l.Sample(rng) <= 0 {
+			t.Fatal("non-positive lognormal sample")
+		}
+	}
+}

@@ -1,0 +1,323 @@
+// Package errmodel implements the paper's wireless-channel error model: a
+// two-state Markov (Gilbert) process alternating between a good and a bad
+// state, with Poisson-distributed bit errors in each state (mean BER 1e-6
+// good, 1e-2 bad in the paper's experiments) and exponentially distributed
+// state holding times.
+//
+// A deterministic variant with fixed holding times reproduces the channel
+// used for the paper's Figures 3-5, where the authors "exactly duplicate
+// the errors and state transitions" across the three compared schemes.
+//
+// The model is continuous-time. Links ask the channel for the expected
+// number of bit errors over the exact interval a transmission occupies the
+// medium; the per-transmission corruption indicator is then Poisson:
+// P(corrupted) = 1 - exp(-mean). Integrating across state boundaries means
+// a transmission that straddles a good-to-bad transition is corrupted with
+// the correct intermediate probability rather than being attributed to a
+// single state.
+package errmodel
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wtcp/internal/sim"
+)
+
+// State is the channel state.
+type State int
+
+// Channel states.
+const (
+	// Good is the low-BER state.
+	Good State = iota + 1
+	// Bad is the high-BER (deep fade) state.
+	Bad
+)
+
+// String names the state for traces.
+func (s State) String() string {
+	switch s {
+	case Good:
+		return "good"
+	case Bad:
+		return "bad"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Channel is a continuous-time error process. Implementations must answer
+// queries at arbitrary (including repeated or past) times; the simulation
+// never queries beyond the horizon it has reached plus one transmission.
+type Channel interface {
+	// StateAt reports the channel state at virtual time t.
+	StateAt(t time.Duration) State
+	// ExpectedBitErrors reports the Poisson mean of bit errors for a
+	// transmission of bits total bits occupying the medium over
+	// [start, end), with the bits spread uniformly over the interval.
+	ExpectedBitErrors(start, end time.Duration, bits int64) float64
+}
+
+// Config parameterizes the two-state model. The zero value is invalid; use
+// the preset helpers or fill every field.
+type Config struct {
+	// GoodBER and BadBER are the mean bit error rates in each state.
+	GoodBER float64
+	BadBER  float64
+	// MeanGood and MeanBad are the mean state holding times.
+	MeanGood time.Duration
+	MeanBad  time.Duration
+	// Deterministic selects fixed holding times (exactly MeanGood /
+	// MeanBad per visit) instead of exponential draws. Used for the
+	// paper's trace figures.
+	Deterministic bool
+	// Start is the state at time zero. Defaults to Good if unset, as in
+	// the paper ("the simulation starts with the wireless link in a good
+	// state").
+	Start State
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.GoodBER < 0 || c.BadBER < 0:
+		return errors.New("errmodel: negative BER")
+	case c.GoodBER > 1 || c.BadBER > 1:
+		return errors.New("errmodel: BER above 1")
+	case c.MeanGood <= 0:
+		return errors.New("errmodel: non-positive mean good period")
+	case c.MeanBad < 0:
+		return errors.New("errmodel: negative mean bad period")
+	default:
+		return nil
+	}
+}
+
+// GoodFraction reports the long-run fraction of time the channel spends in
+// the good state, MeanGood / (MeanGood + MeanBad). The paper's theoretical
+// maximum throughput is tput_max times this fraction.
+func (c Config) GoodFraction() float64 {
+	total := c.MeanGood + c.MeanBad
+	if total <= 0 {
+		return 1
+	}
+	return float64(c.MeanGood) / float64(total)
+}
+
+// PaperWAN returns the paper's wide-area channel: BER 1e-6 good / 1e-2
+// bad, mean good period 10 s, and the given mean bad period (the paper
+// sweeps 1-4 s).
+func PaperWAN(meanBad time.Duration) Config {
+	return Config{
+		GoodBER:  1e-6,
+		BadBER:   1e-2,
+		MeanGood: 10 * time.Second,
+		MeanBad:  meanBad,
+		Start:    Good,
+	}
+}
+
+// PaperLAN returns the paper's local-area channel: mean good period 4 s
+// and the given mean bad period (the paper sweeps 0.4-1.6 s).
+func PaperLAN(meanBad time.Duration) Config {
+	return Config{
+		GoodBER:  1e-6,
+		BadBER:   1e-2,
+		MeanGood: 4 * time.Second,
+		MeanBad:  meanBad,
+		Start:    Good,
+	}
+}
+
+// interval is one constant-state stretch of the generated timeline.
+type interval struct {
+	start time.Duration
+	state State
+}
+
+// Markov is the stochastic (or deterministic-period) two-state channel. It
+// generates its state timeline lazily and caches it, so repeated queries
+// over the same horizon are cheap and consistent.
+type Markov struct {
+	cfg Config
+	rng *sim.RNG
+
+	// timeline holds intervals in increasing start order; timeline[0]
+	// always starts at 0. horizon is the time up to which the timeline is
+	// complete (the next interval's start).
+	timeline []interval
+	horizon  time.Duration
+}
+
+var _ Channel = (*Markov)(nil)
+
+// NewMarkov builds a channel from cfg, drawing holding times from rng
+// (ignored when cfg.Deterministic). It returns an error if cfg is invalid.
+func NewMarkov(cfg Config, rng *sim.RNG) (*Markov, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Start == 0 {
+		cfg.Start = Good
+	}
+	m := &Markov{cfg: cfg, rng: rng}
+	m.timeline = append(m.timeline, interval{start: 0, state: cfg.Start})
+	m.horizon = m.draw(cfg.Start)
+	return m, nil
+}
+
+// draw returns a holding time for the given state.
+func (m *Markov) draw(s State) time.Duration {
+	mean := m.cfg.MeanGood
+	if s == Bad {
+		mean = m.cfg.MeanBad
+	}
+	if m.cfg.Deterministic {
+		return mean
+	}
+	d := time.Duration(m.rng.Exp(float64(mean)))
+	if d <= 0 {
+		// An exactly-zero draw would stall timeline extension; clamp to
+		// one nanosecond of virtual time.
+		d = 1
+	}
+	return d
+}
+
+// extendTo generates intervals until the timeline covers t.
+func (m *Markov) extendTo(t time.Duration) {
+	for m.horizon <= t {
+		last := m.timeline[len(m.timeline)-1].state
+		next := Good
+		if last == Good {
+			next = Bad
+		}
+		// A zero mean bad period degenerates to an always-good channel;
+		// skip the empty visit to keep intervals non-empty.
+		if next == Bad && m.cfg.MeanBad == 0 {
+			m.horizon += m.draw(Good)
+			continue
+		}
+		m.timeline = append(m.timeline, interval{start: m.horizon, state: next})
+		m.horizon += m.draw(next)
+	}
+}
+
+// locate returns the index of the interval containing t.
+func (m *Markov) locate(t time.Duration) int {
+	if t < 0 {
+		t = 0
+	}
+	m.extendTo(t)
+	// Binary search for the last interval starting at or before t.
+	lo, hi := 0, len(m.timeline)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if m.timeline[mid].start <= t {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+// StateAt implements Channel.
+func (m *Markov) StateAt(t time.Duration) State {
+	return m.timeline[m.locate(t)].state
+}
+
+// ber returns the bit error rate in state s.
+func (m *Markov) ber(s State) float64 {
+	if s == Bad {
+		return m.cfg.BadBER
+	}
+	return m.cfg.GoodBER
+}
+
+// ExpectedBitErrors implements Channel. The transmission's bits are spread
+// uniformly over [start, end); the mean error count integrates the BER
+// across every state interval the transmission overlaps.
+func (m *Markov) ExpectedBitErrors(start, end time.Duration, bits int64) float64 {
+	if bits <= 0 || end <= start {
+		// Instantaneous transmissions (degenerate configs) are attributed
+		// entirely to the state at start.
+		if bits <= 0 {
+			return 0
+		}
+		return m.ber(m.StateAt(start)) * float64(bits)
+	}
+	if start < 0 {
+		start = 0
+	}
+	m.extendTo(end)
+	total := float64(end - start)
+	mean := 0.0
+	for i := m.locate(start); i < len(m.timeline); i++ {
+		iv := m.timeline[i]
+		ivEnd := m.horizon
+		if i+1 < len(m.timeline) {
+			ivEnd = m.timeline[i+1].start
+		}
+		lo, hi := maxDur(start, iv.start), minDur(end, ivEnd)
+		if hi <= lo {
+			if iv.start >= end {
+				break
+			}
+			continue
+		}
+		frac := float64(hi-lo) / total
+		mean += m.ber(iv.state) * float64(bits) * frac
+	}
+	return mean
+}
+
+// Intervals returns a copy of the generated timeline up to horizon t, as
+// (start, state) pairs. Intended for tests and trace annotation.
+func (m *Markov) Intervals(t time.Duration) []struct {
+	Start time.Duration
+	State State
+} {
+	m.extendTo(t)
+	out := make([]struct {
+		Start time.Duration
+		State State
+	}, 0, len(m.timeline))
+	for _, iv := range m.timeline {
+		if iv.start > t {
+			break
+		}
+		out = append(out, struct {
+			Start time.Duration
+			State State
+		}{iv.start, iv.state})
+	}
+	return out
+}
+
+// Perfect is an error-free channel, used for theoretical-maximum runs.
+type Perfect struct{}
+
+var _ Channel = Perfect{}
+
+// StateAt implements Channel: always Good.
+func (Perfect) StateAt(time.Duration) State { return Good }
+
+// ExpectedBitErrors implements Channel: never any errors.
+func (Perfect) ExpectedBitErrors(time.Duration, time.Duration, int64) float64 { return 0 }
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,40 @@
+package errmodel_test
+
+import (
+	"fmt"
+	"time"
+
+	"wtcp/internal/errmodel"
+	"wtcp/internal/sim"
+)
+
+// Example builds the paper's deterministic Figure 3-5 channel and shows
+// the alternating schedule and the corruption mean of a fragment
+// transmitted inside a fade.
+func Example() {
+	cfg := errmodel.PaperWAN(4 * time.Second)
+	cfg.Deterministic = true
+	ch, err := errmodel.NewMarkov(cfg, sim.NewRNG(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("state at 5s: ", ch.StateAt(5*time.Second))
+	fmt.Println("state at 12s:", ch.StateAt(12*time.Second))
+	// A 128-byte fragment = 1536 on-air bits wholly inside the fade.
+	mean := ch.ExpectedBitErrors(11*time.Second, 11*time.Second+80*time.Millisecond, 1536)
+	fmt.Printf("expected bit errors in fade: %.2f\n", mean)
+	// Output:
+	// state at 5s:  good
+	// state at 12s: bad
+	// expected bit errors in fade: 15.36
+}
+
+// ExampleConfig_GoodFraction shows the availability factor behind the
+// paper's theoretical maxima.
+func ExampleConfig_GoodFraction() {
+	cfg := errmodel.PaperWAN(4 * time.Second)
+	fmt.Printf("%.4f\n", cfg.GoodFraction())
+	// Output:
+	// 0.7143
+}

@@ -1,0 +1,122 @@
+package errmodel
+
+import (
+	"errors"
+	"time"
+)
+
+// Phase is one scripted interval of a Schedule channel.
+type Phase struct {
+	State    State
+	Duration time.Duration
+}
+
+// Schedule is a channel whose state follows an explicit script of phases,
+// optionally repeating. It generalizes the deterministic variant used for
+// Figures 3-5: experiments can replay arbitrary fade patterns (e.g.
+// captured from a real link) bit-for-bit across schemes.
+type Schedule struct {
+	phases []Phase
+	// cycle is the script's total length (repeat period).
+	cycle time.Duration
+	// repeat extends the script periodically; otherwise the final
+	// phase's state holds forever.
+	repeat bool
+	// ber per state.
+	goodBER, badBER float64
+}
+
+var _ Channel = (*Schedule)(nil)
+
+// NewSchedule builds a scripted channel with the given per-state BERs.
+func NewSchedule(phases []Phase, repeat bool, goodBER, badBER float64) (*Schedule, error) {
+	if len(phases) == 0 {
+		return nil, errors.New("errmodel: empty schedule")
+	}
+	var cycle time.Duration
+	for i, ph := range phases {
+		if ph.Duration <= 0 {
+			return nil, errors.New("errmodel: non-positive phase duration")
+		}
+		if ph.State != Good && ph.State != Bad {
+			return nil, errors.New("errmodel: unknown phase state")
+		}
+		_ = i
+		cycle += ph.Duration
+	}
+	if goodBER < 0 || badBER < 0 || goodBER > 1 || badBER > 1 {
+		return nil, errors.New("errmodel: BER outside [0,1]")
+	}
+	out := make([]Phase, len(phases))
+	copy(out, phases)
+	return &Schedule{
+		phases:  out,
+		cycle:   cycle,
+		repeat:  repeat,
+		goodBER: goodBER,
+		badBER:  badBER,
+	}, nil
+}
+
+// phaseAt locates the phase covering t and its remaining span.
+func (sc *Schedule) phaseAt(t time.Duration) (Phase, time.Duration) {
+	if t < 0 {
+		t = 0
+	}
+	if t >= sc.cycle {
+		if !sc.repeat {
+			last := sc.phases[len(sc.phases)-1]
+			return last, 1<<62 - 1
+		}
+		t %= sc.cycle
+	}
+	for _, ph := range sc.phases {
+		if t < ph.Duration {
+			return ph, ph.Duration - t
+		}
+		t -= ph.Duration
+	}
+	// Unreachable: t < cycle and phases sum to cycle.
+	return sc.phases[len(sc.phases)-1], 0
+}
+
+// StateAt implements Channel.
+func (sc *Schedule) StateAt(t time.Duration) State {
+	ph, _ := sc.phaseAt(t)
+	return ph.State
+}
+
+// ber maps a state to its bit error rate.
+func (sc *Schedule) ber(s State) float64 {
+	if s == Bad {
+		return sc.badBER
+	}
+	return sc.goodBER
+}
+
+// ExpectedBitErrors implements Channel by integrating the scripted BER
+// across [start, end).
+func (sc *Schedule) ExpectedBitErrors(start, end time.Duration, bits int64) float64 {
+	if bits <= 0 {
+		return 0
+	}
+	if end <= start {
+		return sc.ber(sc.StateAt(start)) * float64(bits)
+	}
+	if start < 0 {
+		start = 0
+	}
+	total := float64(end - start)
+	mean := 0.0
+	t := start
+	for t < end {
+		ph, remaining := sc.phaseAt(t)
+		span := remaining
+		if t+span > end {
+			span = end - t
+		}
+		mean += sc.ber(ph.State) * float64(bits) * float64(span) / total
+		t += span
+	}
+	return mean
+}

@@ -1,0 +1,107 @@
+package errmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func paperSchedule(t *testing.T) *Schedule {
+	t.Helper()
+	sc, err := NewSchedule([]Phase{
+		{State: Good, Duration: 10 * time.Second},
+		{State: Bad, Duration: 4 * time.Second},
+	}, true, 1e-6, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestNewScheduleValidation(t *testing.T) {
+	if _, err := NewSchedule(nil, false, 0, 0); err == nil {
+		t.Error("empty schedule accepted")
+	}
+	if _, err := NewSchedule([]Phase{{State: Good, Duration: 0}}, false, 0, 0); err == nil {
+		t.Error("zero-duration phase accepted")
+	}
+	if _, err := NewSchedule([]Phase{{State: State(9), Duration: time.Second}}, false, 0, 0); err == nil {
+		t.Error("unknown state accepted")
+	}
+	if _, err := NewSchedule([]Phase{{State: Good, Duration: time.Second}}, false, -1, 0); err == nil {
+		t.Error("negative BER accepted")
+	}
+}
+
+func TestScheduleRepeats(t *testing.T) {
+	sc := paperSchedule(t)
+	tests := []struct {
+		at   time.Duration
+		want State
+	}{
+		{0, Good},
+		{9 * time.Second, Good},
+		{10 * time.Second, Bad},
+		{13 * time.Second, Bad},
+		{14 * time.Second, Good},
+		{24 * time.Second, Bad},  // second cycle
+		{150 * time.Second, Bad}, // 150 mod 14 = 10 -> bad
+		{-time.Second, Good},     // clamps
+	}
+	for _, tt := range tests {
+		if got := sc.StateAt(tt.at); got != tt.want {
+			t.Errorf("StateAt(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestScheduleNonRepeatingHoldsLastState(t *testing.T) {
+	sc, err := NewSchedule([]Phase{
+		{State: Bad, Duration: time.Second},
+		{State: Good, Duration: time.Second},
+	}, false, 1e-6, 1e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.StateAt(500 * time.Millisecond); got != Bad {
+		t.Errorf("first phase = %v", got)
+	}
+	if got := sc.StateAt(10 * time.Hour); got != Good {
+		t.Errorf("beyond script = %v, want last state held", got)
+	}
+}
+
+func TestScheduleExpectedBitErrorsMatchesMarkovDeterministic(t *testing.T) {
+	// The schedule with the paper's phases must agree exactly with the
+	// deterministic Markov channel.
+	sc := paperSchedule(t)
+	cfg := PaperWAN(4 * time.Second)
+	cfg.Deterministic = true
+	m, err := NewMarkov(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range []struct{ a, b time.Duration }{
+		{time.Second, 2 * time.Second},
+		{9500 * time.Millisecond, 10500 * time.Millisecond},
+		{8 * time.Second, 16 * time.Second},
+		{20 * time.Second, 30 * time.Second},
+	} {
+		want := m.ExpectedBitErrors(span.a, span.b, 1536)
+		got := sc.ExpectedBitErrors(span.a, span.b, 1536)
+		if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Errorf("[%v,%v): schedule %v vs markov %v", span.a, span.b, got, want)
+		}
+	}
+}
+
+func TestScheduleEdgeCases(t *testing.T) {
+	sc := paperSchedule(t)
+	if got := sc.ExpectedBitErrors(time.Second, 2*time.Second, 0); got != 0 {
+		t.Errorf("zero bits = %v", got)
+	}
+	got := sc.ExpectedBitErrors(11*time.Second, 11*time.Second, 100)
+	if math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("instantaneous in bad state = %v, want 1.0", got)
+	}
+}

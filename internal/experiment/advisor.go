@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"wtcp/internal/units"
+)
+
+// AdvisorEntry maps one wireless error characteristic to the packet size
+// that maximized measured throughput under it.
+type AdvisorEntry struct {
+	MeanBad        time.Duration
+	PacketSize     units.ByteSize
+	ThroughputKbps float64
+}
+
+// Advisor is the paper's §4.1 deployment proposal made concrete: "a fixed
+// table at each base station which maps a particular wireless link error
+// characteristic to the 'good' packet size for that error characteristic."
+// It is built offline by calibration sweeps and consulted with the
+// currently observed mean bad-period length; no per-connection state is
+// involved.
+type Advisor struct {
+	entries []AdvisorEntry // sorted by MeanBad
+}
+
+// CalibrateAdvisor runs the Figure 7 sweep (basic TCP) for the options'
+// bad periods and packet sizes and records each condition's winner.
+func CalibrateAdvisor(opt Options) (*Advisor, error) {
+	points := Fig7(opt)
+	if len(points) == 0 {
+		return nil, errors.New("experiment: empty calibration sweep")
+	}
+	byBad := map[time.Duration]bool{}
+	for _, p := range points {
+		byBad[p.BadPeriod] = true
+	}
+	a := &Advisor{}
+	for bad := range byBad {
+		size, tput := OptimalPacketSize(points, bad)
+		a.entries = append(a.entries, AdvisorEntry{
+			MeanBad:        bad,
+			PacketSize:     size,
+			ThroughputKbps: tput,
+		})
+	}
+	sort.Slice(a.entries, func(i, j int) bool { return a.entries[i].MeanBad < a.entries[j].MeanBad })
+	return a, nil
+}
+
+// NewAdvisor builds an advisor from a precomputed table (e.g. shipped with
+// a base station image).
+func NewAdvisor(entries []AdvisorEntry) (*Advisor, error) {
+	if len(entries) == 0 {
+		return nil, errors.New("experiment: advisor needs at least one entry")
+	}
+	out := make([]AdvisorEntry, len(entries))
+	copy(out, entries)
+	sort.Slice(out, func(i, j int) bool { return out[i].MeanBad < out[j].MeanBad })
+	return &Advisor{entries: out}, nil
+}
+
+// Recommend returns the calibrated packet size for the nearest known
+// error characteristic.
+func (a *Advisor) Recommend(meanBad time.Duration) units.ByteSize {
+	best := a.entries[0]
+	bestDist := absDur(meanBad - best.MeanBad)
+	for _, e := range a.entries[1:] {
+		if d := absDur(meanBad - e.MeanBad); d < bestDist {
+			best, bestDist = e, d
+		}
+	}
+	return best.PacketSize
+}
+
+// Table returns a copy of the calibration entries.
+func (a *Advisor) Table() []AdvisorEntry {
+	out := make([]AdvisorEntry, len(a.entries))
+	copy(out, a.entries)
+	return out
+}
+
+// String renders the table the way a base station operator would inspect
+// it.
+func (a *Advisor) String() string {
+	var b strings.Builder
+	b.WriteString("mean bad period -> good packet size\n")
+	for _, e := range a.entries {
+		fmt.Fprintf(&b, "  %-8s -> %-6s (%.2f Kbps)\n", e.MeanBad, e.PacketSize, e.ThroughputKbps)
+	}
+	return b.String()
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

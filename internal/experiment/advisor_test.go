@@ -1,0 +1,78 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wtcp/internal/units"
+)
+
+func TestCalibrateAdvisor(t *testing.T) {
+	a, err := CalibrateAdvisor(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := a.Table()
+	if len(table) != 2 {
+		t.Fatalf("entries = %d, want one per bad period", len(table))
+	}
+	if table[0].MeanBad != time.Second || table[1].MeanBad != 4*time.Second {
+		t.Errorf("entries unsorted: %+v", table)
+	}
+	for _, e := range table {
+		if e.PacketSize == 0 || e.ThroughputKbps <= 0 {
+			t.Errorf("degenerate entry %+v", e)
+		}
+	}
+	if s := a.String(); !strings.Contains(s, "->") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestAdvisorRecommendNearest(t *testing.T) {
+	a, err := NewAdvisor([]AdvisorEntry{
+		{MeanBad: 4 * time.Second, PacketSize: 384},
+		{MeanBad: 1 * time.Second, PacketSize: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		bad  time.Duration
+		want units.ByteSize
+	}{
+		{1 * time.Second, 512},
+		{1200 * time.Millisecond, 512},
+		{4 * time.Second, 384},
+		{10 * time.Second, 384},
+		{2600 * time.Millisecond, 384}, // nearer to 4s than 1s
+		{2400 * time.Millisecond, 512},
+	}
+	for _, tt := range tests {
+		if got := a.Recommend(tt.bad); got != tt.want {
+			t.Errorf("Recommend(%v) = %v, want %v", tt.bad, got, tt.want)
+		}
+	}
+}
+
+func TestAdvisorRejectsEmpty(t *testing.T) {
+	if _, err := NewAdvisor(nil); err == nil {
+		t.Error("empty table accepted")
+	}
+	if _, err := CalibrateAdvisor(Options{Replications: 1, PacketSizes: []units.ByteSize{512}, BadPeriods: []time.Duration{time.Second}, Transfer: 10 * units.KB}); err != nil {
+		t.Errorf("single-point calibration failed: %v", err)
+	}
+}
+
+func TestAdvisorTableIsCopy(t *testing.T) {
+	a, err := NewAdvisor([]AdvisorEntry{{MeanBad: time.Second, PacketSize: 512}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := a.Table()
+	tbl[0].PacketSize = 9999
+	if a.Recommend(time.Second) != 512 {
+		t.Error("Table exposed internal storage")
+	}
+}

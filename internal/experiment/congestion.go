@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/core"
+	"wtcp/internal/stats"
+	"wtcp/internal/units"
+)
+
+// CongestionPoint is one (scheme, wired load) cell of the congested-wire
+// study — the interaction the paper defers to future work (§6): does EBSN
+// remain effective, and does it stay out of the way of genuine congestion
+// control, when the wired network is loaded?
+type CongestionPoint struct {
+	Scheme         bs.Scheme
+	LoadFraction   float64 // cross traffic / wired capacity
+	ThroughputKbps *stats.Sample
+	TimeoutsAvg    float64
+}
+
+// CongestionOptions tunes the study.
+type CongestionOptions struct {
+	Replications int
+	Transfer     units.ByteSize
+	BadPeriod    time.Duration
+	// Loads are cross-traffic rates as fractions of the wired capacity.
+	Loads    []float64
+	BaseSeed int64
+}
+
+func (o CongestionOptions) withDefaults() CongestionOptions {
+	if o.Replications <= 0 {
+		o.Replications = 3
+	}
+	if o.BadPeriod <= 0 {
+		o.BadPeriod = 2 * time.Second
+	}
+	if len(o.Loads) == 0 {
+		o.Loads = []float64{0, 0.3, 0.6}
+	}
+	return o
+}
+
+// CongestionStudy sweeps wired cross-traffic load for basic TCP and EBSN.
+func CongestionStudy(opt CongestionOptions) ([]CongestionPoint, error) {
+	opt = opt.withDefaults()
+	var out []CongestionPoint
+	for _, scheme := range []bs.Scheme{bs.Basic, bs.EBSN} {
+		for _, load := range opt.Loads {
+			var tput stats.Sample
+			var timeouts uint64
+			for seed := int64(1); seed <= int64(opt.Replications); seed++ {
+				cfg := core.WAN(scheme, 576, opt.BadPeriod)
+				if opt.Transfer > 0 {
+					cfg.TransferSize = opt.Transfer
+				}
+				cfg.CrossTraffic = core.CrossTraffic{
+					Rate: units.BitRate(load * float64(cfg.WiredRate)),
+				}
+				cfg.Seed = opt.BaseSeed + seed
+				r, err := core.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				tput.Add(r.Summary.ThroughputKbps)
+				timeouts += r.Summary.Timeouts
+			}
+			out = append(out, CongestionPoint{
+				Scheme:         scheme,
+				LoadFraction:   load,
+				ThroughputKbps: &tput,
+				TimeoutsAvg:    float64(timeouts) / float64(opt.Replications),
+			})
+		}
+	}
+	return out, nil
+}
+
+// CongestionCSV emits the study as CSV.
+func CongestionCSV(points []CongestionPoint) string {
+	var b strings.Builder
+	b.WriteString("scheme,load_fraction,throughput_kbps_mean,throughput_kbps_stddev,timeouts_avg\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%s,%.2f,%.3f,%.3f,%.1f\n",
+			p.Scheme, p.LoadFraction,
+			p.ThroughputKbps.Mean(), p.ThroughputKbps.StdDev(), p.TimeoutsAvg)
+	}
+	return b.String()
+}
+
+// RenderCongestionTable formats the study.
+func RenderCongestionTable(title string, points []CongestionPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s  %-12s  %-18s  %-10s\n", "scheme", "wired load", "throughput(Kbps)", "timeouts")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-10s  %-12s  %-18s  %-10.1f\n",
+			p.Scheme, fmt.Sprintf("%.0f%%", 100*p.LoadFraction),
+			fmt.Sprintf("%.2f±%.0f%%", p.ThroughputKbps.Mean(), 100*p.ThroughputKbps.RelStdDev()),
+			p.TimeoutsAvg)
+	}
+	return b.String()
+}

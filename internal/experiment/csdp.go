@@ -1,0 +1,113 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wtcp/internal/multiconn"
+	"wtcp/internal/stats"
+	"wtcp/internal/units"
+)
+
+// CSDPPoint is one (policy, bad period) cell of the related-work
+// scheduling study (paper §2, [Bhagwat 95]).
+type CSDPPoint struct {
+	Policy        multiconn.Policy
+	BadPeriod     time.Duration
+	AggregateKbps *stats.Sample
+	Fairness      *stats.Sample
+	DiscardsAvg   float64
+}
+
+// CSDPOptions tunes the scheduling study.
+type CSDPOptions struct {
+	Connections  int
+	Replications int
+	Transfer     units.ByteSize
+	BadPeriods   []time.Duration
+	// Accuracy is the CSDP predictor accuracy (1.0 = oracle).
+	Accuracy float64
+	BaseSeed int64
+}
+
+func (o CSDPOptions) withDefaults() CSDPOptions {
+	if o.Connections <= 0 {
+		o.Connections = 4
+	}
+	if o.Replications <= 0 {
+		o.Replications = 3
+	}
+	if len(o.BadPeriods) == 0 {
+		o.BadPeriods = []time.Duration{500 * time.Millisecond, time.Second, 2 * time.Second}
+	}
+	if o.Accuracy <= 0 {
+		o.Accuracy = 1.0
+	}
+	return o
+}
+
+// CSDPStudy runs the FIFO / round-robin / CSDP comparison across bad
+// periods.
+func CSDPStudy(opt CSDPOptions) ([]CSDPPoint, error) {
+	opt = opt.withDefaults()
+	var out []CSDPPoint
+	for _, policy := range []multiconn.Policy{multiconn.FIFO, multiconn.RoundRobin, multiconn.CSDP} {
+		for _, bad := range opt.BadPeriods {
+			var agg, fair stats.Sample
+			var discards uint64
+			for seed := int64(1); seed <= int64(opt.Replications); seed++ {
+				cfg := multiconn.LANDefaults(opt.Connections, policy, bad)
+				cfg.PredictorAccuracy = opt.Accuracy
+				cfg.Seed = opt.BaseSeed + seed
+				if opt.Transfer > 0 {
+					cfg.TransferSize = opt.Transfer
+				}
+				r, err := multiconn.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				agg.Add(r.AggregateKbps)
+				fair.Add(r.Fairness)
+				discards += r.RadioDiscards
+			}
+			out = append(out, CSDPPoint{
+				Policy:        policy,
+				BadPeriod:     bad,
+				AggregateKbps: &agg,
+				Fairness:      &fair,
+				DiscardsAvg:   float64(discards) / float64(opt.Replications),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderCSDPTable formats the scheduling study.
+func RenderCSDPTable(title string, points []CSDPPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-12s  %-10s  %-20s  %-10s  %-10s\n",
+		"policy", "bad", "aggregate(Kbps)", "fairness", "discards")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-12s  %-10s  %-20s  %-10s  %-10.1f\n",
+			p.Policy, p.BadPeriod,
+			fmt.Sprintf("%.0f±%.0f%%", p.AggregateKbps.Mean(), 100*p.AggregateKbps.RelStdDev()),
+			fmt.Sprintf("%.3f", p.Fairness.Mean()),
+			p.DiscardsAvg)
+	}
+	return b.String()
+}
+
+// CSDPCSV emits the study as CSV.
+func CSDPCSV(points []CSDPPoint) string {
+	var b strings.Builder
+	b.WriteString("policy,bad_period_sec,aggregate_kbps_mean,aggregate_kbps_stddev,fairness_mean,discards_avg\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%s,%.1f,%.2f,%.2f,%.4f,%.1f\n",
+			p.Policy, p.BadPeriod.Seconds(),
+			p.AggregateKbps.Mean(), p.AggregateKbps.StdDev(),
+			p.Fairness.Mean(), p.DiscardsAvg)
+	}
+	return b.String()
+}

@@ -1,0 +1,63 @@
+package experiment_test
+
+import (
+	"fmt"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/experiment"
+	"wtcp/internal/units"
+)
+
+// ExampleFig7 runs a reduced Figure 7 sweep and locates the optimal
+// packet size for a given error condition — the paper's §4.1 proposal.
+func ExampleFig7() {
+	points := experiment.Fig7(experiment.Options{
+		Replications: 2,
+		Transfer:     40 * units.KB,
+		PacketSizes:  []units.ByteSize{128, 512, 1536},
+		BadPeriods:   []time.Duration{time.Second},
+	})
+	size, tput := experiment.OptimalPacketSize(points, time.Second)
+	fmt.Println("points:", len(points))
+	fmt.Println("optimum in sweep:", size == 128 || size == 512 || size == 1536)
+	fmt.Println("optimum positive:", tput > 0)
+	// Output:
+	// points: 3
+	// optimum in sweep: true
+	// optimum positive: true
+}
+
+// ExampleCalibrateAdvisor builds the base station's §4.1 advisory table
+// and answers a point query.
+func ExampleCalibrateAdvisor() {
+	advisor, err := experiment.CalibrateAdvisor(experiment.Options{
+		Replications: 2,
+		Transfer:     40 * units.KB,
+		PacketSizes:  []units.ByteSize{256, 512, 1024},
+		BadPeriods:   []time.Duration{time.Second, 4 * time.Second},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("entries:", len(advisor.Table()))
+	rec := advisor.Recommend(900 * time.Millisecond)
+	fmt.Println("recommendation in sweep:", rec == 256 || rec == 512 || rec == 1024)
+	// Output:
+	// entries: 2
+	// recommendation in sweep: true
+}
+
+// ExampleTraceFigure reproduces the Figure 5 headline: EBSN removes every
+// source timeout under the deterministic fade schedule.
+func ExampleTraceFigure() {
+	r, err := experiment.TraceFigure(bs.EBSN, 60*time.Second)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("timeouts:", r.Summary.Timeouts)
+	// Output:
+	// timeouts: 0
+}

@@ -1,0 +1,274 @@
+// Package experiment reproduces every result-bearing figure of the paper:
+//
+//   - Figures 3-5: deterministic-channel packet traces for basic TCP,
+//     local recovery, and EBSN (TraceFigure).
+//   - Figure 7: WAN throughput vs wired packet size for basic TCP, four
+//     bad-period lengths (Fig7).
+//   - Figure 8: the same sweep under EBSN (Fig8).
+//   - Figure 9: WAN retransmitted data vs packet size for both schemes
+//     (Fig9).
+//   - Figures 10-11: LAN throughput and retransmitted data vs mean bad
+//     period for basic TCP and EBSN (LANStudy).
+//
+// Each experiment runs independent seeded replications (the paper reports
+// standard deviations below 4%) and returns per-point samples plus the
+// theoretical maximum tput_th the paper marks on its axes.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/core"
+	"wtcp/internal/stats"
+	"wtcp/internal/units"
+)
+
+// PacketSizes is the paper's swept wired-packet-size axis (128-1536
+// bytes).
+var PacketSizes = []units.ByteSize{
+	128, 256, 384, 512, 640, 768, 896, 1024, 1152, 1280, 1408, 1536,
+}
+
+// WANBadPeriods is the paper's wide-area mean-bad-period axis.
+var WANBadPeriods = []time.Duration{
+	1 * time.Second, 2 * time.Second, 3 * time.Second, 4 * time.Second,
+}
+
+// LANBadPeriods is the paper's local-area mean-bad-period axis
+// (400 ms - 1.6 s).
+var LANBadPeriods = []time.Duration{
+	400 * time.Millisecond, 600 * time.Millisecond, 800 * time.Millisecond,
+	1000 * time.Millisecond, 1200 * time.Millisecond, 1400 * time.Millisecond,
+	1600 * time.Millisecond,
+}
+
+// Options tunes an experiment run.
+type Options struct {
+	// Replications per point (default 5).
+	Replications int
+	// BaseSeed offsets the replication seeds so independent experiment
+	// invocations can use disjoint randomness.
+	BaseSeed int64
+	// Transfer overrides the preset transfer size (tests use smaller
+	// transfers for speed); zero keeps the paper's value.
+	Transfer units.ByteSize
+	// PacketSizes and BadPeriods override the swept axes; nil keeps the
+	// paper's.
+	PacketSizes []units.ByteSize
+	BadPeriods  []time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Replications <= 0 {
+		o.Replications = 5
+	}
+	return o
+}
+
+func (o Options) packetSizes() []units.ByteSize {
+	if len(o.PacketSizes) > 0 {
+		return o.PacketSizes
+	}
+	return PacketSizes
+}
+
+func (o Options) wanBadPeriods() []time.Duration {
+	if len(o.BadPeriods) > 0 {
+		return o.BadPeriods
+	}
+	return WANBadPeriods
+}
+
+func (o Options) lanBadPeriods() []time.Duration {
+	if len(o.BadPeriods) > 0 {
+		return o.BadPeriods
+	}
+	return LANBadPeriods
+}
+
+// ThroughputPoint is one (bad period, packet size) cell of Figures 7/8.
+type ThroughputPoint struct {
+	Scheme         bs.Scheme
+	BadPeriod      time.Duration
+	PacketSize     units.ByteSize
+	ThroughputKbps *stats.Sample
+	// Goodput is the paper's second metric: useful data over everything
+	// the source transmitted.
+	Goodput *stats.Sample
+	// TheoreticalMaxKbps is the paper's tput_th for this bad period.
+	TheoreticalMaxKbps float64
+}
+
+// RetransPoint is one cell of Figure 9 (and the per-scheme halves of
+// Figure 11): source-retransmitted data in KB.
+type RetransPoint struct {
+	Scheme      bs.Scheme
+	BadPeriod   time.Duration
+	PacketSize  units.ByteSize
+	RetransKB   *stats.Sample
+	TimeoutsAvg float64
+}
+
+// wanSweep runs the WAN packet-size sweep for one scheme.
+func wanSweep(scheme bs.Scheme, opt Options) []ThroughputPoint {
+	opt = opt.withDefaults()
+	var tps []ThroughputPoint
+	for _, bad := range opt.wanBadPeriods() {
+		for _, size := range opt.packetSizes() {
+			var tput, goodput stats.Sample
+			for seed := int64(1); seed <= int64(opt.Replications); seed++ {
+				r := mustRun(wanConfig(scheme, size, bad, opt, seed))
+				tput.Add(r.Summary.ThroughputKbps)
+				goodput.Add(r.Summary.Goodput)
+			}
+			cfg := core.WAN(scheme, size, bad)
+			tps = append(tps, ThroughputPoint{
+				Scheme:             scheme,
+				BadPeriod:          bad,
+				PacketSize:         size,
+				ThroughputKbps:     &tput,
+				Goodput:            &goodput,
+				TheoreticalMaxKbps: cfg.TheoreticalMaxKbps(),
+			})
+		}
+	}
+	return tps
+}
+
+// wanConfig builds one run's configuration.
+func wanConfig(scheme bs.Scheme, size units.ByteSize, bad time.Duration, opt Options, seed int64) core.Config {
+	cfg := core.WAN(scheme, size, bad)
+	if opt.Transfer > 0 {
+		cfg.TransferSize = opt.Transfer
+	}
+	cfg.Seed = opt.BaseSeed + seed
+	return cfg
+}
+
+// lanConfig builds one LAN run's configuration.
+func lanConfig(scheme bs.Scheme, bad time.Duration, opt Options, seed int64) core.Config {
+	cfg := core.LAN(scheme, bad)
+	if opt.Transfer > 0 {
+		cfg.TransferSize = opt.Transfer
+	}
+	cfg.Seed = opt.BaseSeed + seed
+	return cfg
+}
+
+// mustRun executes a validated configuration; a failure here is a
+// programming error in the experiment definitions, reported as a panic so
+// harnesses fail loudly rather than report partial figures.
+func mustRun(cfg core.Config) *core.Result {
+	r, err := core.Run(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiment: run failed: %v", err))
+	}
+	return r
+}
+
+// Fig7 reproduces Figure 7: basic-TCP throughput vs packet size.
+func Fig7(opt Options) []ThroughputPoint { return wanSweep(bs.Basic, opt) }
+
+// Fig8 reproduces Figure 8: EBSN throughput vs packet size.
+func Fig8(opt Options) []ThroughputPoint { return wanSweep(bs.EBSN, opt) }
+
+// Fig9 reproduces Figure 9: retransmitted data vs packet size for basic
+// TCP and EBSN.
+func Fig9(opt Options) []RetransPoint {
+	opt = opt.withDefaults()
+	var out []RetransPoint
+	for _, scheme := range []bs.Scheme{bs.Basic, bs.EBSN} {
+		for _, bad := range opt.wanBadPeriods() {
+			for _, size := range opt.packetSizes() {
+				var retrans stats.Sample
+				var timeouts uint64
+				for seed := int64(1); seed <= int64(opt.Replications); seed++ {
+					r := mustRun(wanConfig(scheme, size, bad, opt, seed))
+					retrans.Add(r.Summary.RetransmittedKB())
+					timeouts += r.Summary.Timeouts
+				}
+				out = append(out, RetransPoint{
+					Scheme:      scheme,
+					BadPeriod:   bad,
+					PacketSize:  size,
+					RetransKB:   &retrans,
+					TimeoutsAvg: float64(timeouts) / float64(opt.Replications),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// LANPoint is one (scheme, bad period) cell of Figures 10 and 11.
+type LANPoint struct {
+	Scheme             bs.Scheme
+	BadPeriod          time.Duration
+	ThroughputMbps     *stats.Sample
+	RetransKB          *stats.Sample
+	TimeoutsAvg        float64
+	TheoreticalMaxMbps float64
+}
+
+// LANStudy reproduces Figures 10 (throughput vs bad period) and 11
+// (retransmitted data vs bad period) in one pass over basic TCP and EBSN.
+func LANStudy(opt Options) []LANPoint {
+	opt = opt.withDefaults()
+	var out []LANPoint
+	for _, scheme := range []bs.Scheme{bs.Basic, bs.EBSN} {
+		for _, bad := range opt.lanBadPeriods() {
+			var tput, retrans stats.Sample
+			var timeouts uint64
+			for seed := int64(1); seed <= int64(opt.Replications); seed++ {
+				r := mustRun(lanConfig(scheme, bad, opt, seed))
+				tput.Add(r.Summary.ThroughputMbps)
+				retrans.Add(r.Summary.RetransmittedKB())
+				timeouts += r.Summary.Timeouts
+			}
+			cfg := core.LAN(scheme, bad)
+			out = append(out, LANPoint{
+				Scheme:             scheme,
+				BadPeriod:          bad,
+				ThroughputMbps:     &tput,
+				RetransKB:          &retrans,
+				TimeoutsAvg:        float64(timeouts) / float64(opt.Replications),
+				TheoreticalMaxMbps: cfg.TheoreticalMaxKbps() / 1000,
+			})
+		}
+	}
+	return out
+}
+
+// TraceFigure reproduces one of Figures 3-5: a deterministic-channel run
+// (good 10 s / bad 4 s, exactly repeating) of a 576-byte-packet transfer
+// with the packet trace collected. scheme selects the figure: Basic =
+// Fig. 3, LocalRecovery = Fig. 4, EBSN = Fig. 5.
+func TraceFigure(scheme bs.Scheme, horizon time.Duration) (*core.Result, error) {
+	cfg := core.WAN(scheme, core.PaperWANPacketDefault, 4*time.Second)
+	cfg.Channel.Deterministic = true
+	cfg.CollectTrace = true
+	if horizon > 0 {
+		cfg.Horizon = horizon
+	}
+	return core.Run(cfg)
+}
+
+// OptimalPacketSize reports the packet size with the highest mean
+// throughput among the given points for one bad period, with the winning
+// mean.
+func OptimalPacketSize(points []ThroughputPoint, bad time.Duration) (units.ByteSize, float64) {
+	var bestSize units.ByteSize
+	best := -1.0
+	for _, p := range points {
+		if p.BadPeriod != bad {
+			continue
+		}
+		if m := p.ThroughputKbps.Mean(); m > best {
+			best = m
+			bestSize = p.PacketSize
+		}
+	}
+	return bestSize, best
+}

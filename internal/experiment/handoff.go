@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wtcp/internal/handoff"
+	"wtcp/internal/stats"
+	"wtcp/internal/units"
+)
+
+// HandoffPoint is one (scheme, dwell) cell of the mobility study
+// [Caceres & Iftode 94], the related work the paper's §2 opens with.
+type HandoffPoint struct {
+	Scheme         handoff.Scheme
+	Dwell          time.Duration
+	ThroughputKbps *stats.Sample
+	TimeoutsAvg    float64
+	FastRetxAvg    float64
+}
+
+// HandoffOptions tunes the study.
+type HandoffOptions struct {
+	Replications int
+	Transfer     units.ByteSize
+	Latency      time.Duration
+	Dwells       []time.Duration
+	BaseSeed     int64
+}
+
+func (o HandoffOptions) withDefaults() HandoffOptions {
+	if o.Replications <= 0 {
+		// Handoff runs are fully deterministic (error-free cells, fixed
+		// dwell), so one replication per point suffices.
+		o.Replications = 1
+	}
+	if len(o.Dwells) == 0 {
+		o.Dwells = []time.Duration{500 * time.Millisecond, time.Second, 2 * time.Second}
+	}
+	return o
+}
+
+// HandoffStudy compares plain TCP against fast-retransmit-on-handoff
+// across cell dwell times.
+func HandoffStudy(opt HandoffOptions) ([]HandoffPoint, error) {
+	opt = opt.withDefaults()
+	var out []HandoffPoint
+	for _, scheme := range []handoff.Scheme{handoff.Plain, handoff.FastRetransmit} {
+		for _, dwell := range opt.Dwells {
+			var tput stats.Sample
+			var timeouts, fastRetx uint64
+			for seed := int64(1); seed <= int64(opt.Replications); seed++ {
+				cfg := handoff.Defaults(scheme)
+				cfg.Dwell = dwell
+				cfg.Seed = opt.BaseSeed + seed
+				if opt.Transfer > 0 {
+					cfg.TransferSize = opt.Transfer
+				}
+				if opt.Latency > 0 {
+					cfg.Latency = opt.Latency
+				}
+				r, err := handoff.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				tput.Add(r.ThroughputKbps)
+				timeouts += r.Timeouts
+				fastRetx += r.FastRetransmits
+			}
+			out = append(out, HandoffPoint{
+				Scheme:         scheme,
+				Dwell:          dwell,
+				ThroughputKbps: &tput,
+				TimeoutsAvg:    float64(timeouts) / float64(opt.Replications),
+				FastRetxAvg:    float64(fastRetx) / float64(opt.Replications),
+			})
+		}
+	}
+	return out, nil
+}
+
+// RenderHandoffTable formats the study.
+func RenderHandoffTable(title string, points []HandoffPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-16s  %-10s  %-18s  %-10s  %-10s\n",
+		"scheme", "dwell", "throughput(Kbps)", "timeouts", "fastretx")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-16s  %-10s  %-18s  %-10.1f  %-10.1f\n",
+			p.Scheme, p.Dwell,
+			fmt.Sprintf("%.0f", p.ThroughputKbps.Mean()),
+			p.TimeoutsAvg, p.FastRetxAvg)
+	}
+	return b.String()
+}
+
+// HandoffCSV emits the study as CSV.
+func HandoffCSV(points []HandoffPoint) string {
+	var b strings.Builder
+	b.WriteString("scheme,dwell_sec,throughput_kbps_mean,throughput_kbps_stddev,timeouts_avg,fastretx_avg\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%s,%.1f,%.2f,%.2f,%.1f,%.1f\n",
+			p.Scheme, p.Dwell.Seconds(),
+			p.ThroughputKbps.Mean(), p.ThroughputKbps.StdDev(),
+			p.TimeoutsAvg, p.FastRetxAvg)
+	}
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/core"
+	"wtcp/internal/stats"
+	"wtcp/internal/units"
+)
+
+// SeverityPoint is one channel-severity cell: the paper conjectures (§1,
+// §6) that its schemes "yield even better performance if wireless links
+// are more lossy" — this study checks that EBSN's relative improvement
+// grows as the channel degrades.
+type SeverityPoint struct {
+	// MeanBad and BadBER describe the severity step.
+	MeanBad time.Duration
+	BadBER  float64
+	// BasicKbps and EBSNKbps are the per-scheme throughput samples.
+	BasicKbps *stats.Sample
+	EBSNKbps  *stats.Sample
+	// ImprovementPct is EBSN's mean relative gain.
+	ImprovementPct float64
+}
+
+// SeverityOptions tunes the study.
+type SeverityOptions struct {
+	Replications int
+	Transfer     units.ByteSize
+	PacketSize   units.ByteSize
+	// Severities lists the (mean bad period, bad-state BER) steps, mild
+	// to harsh. Nil uses a default ladder.
+	Severities []struct {
+		MeanBad time.Duration
+		BadBER  float64
+	}
+	BaseSeed int64
+}
+
+func (o SeverityOptions) withDefaults() SeverityOptions {
+	if o.Replications <= 0 {
+		o.Replications = 5
+	}
+	if o.PacketSize <= 0 {
+		o.PacketSize = 1536
+	}
+	if len(o.Severities) == 0 {
+		o.Severities = []struct {
+			MeanBad time.Duration
+			BadBER  float64
+		}{
+			{1 * time.Second, 1e-2},
+			{2 * time.Second, 1e-2},
+			{4 * time.Second, 1e-2},
+			{6 * time.Second, 1e-2},
+		}
+	}
+	return o
+}
+
+// SeverityStudy measures basic TCP and EBSN across a severity ladder.
+func SeverityStudy(opt SeverityOptions) ([]SeverityPoint, error) {
+	opt = opt.withDefaults()
+	var out []SeverityPoint
+	for _, sev := range opt.Severities {
+		var basic, ebsn stats.Sample
+		for seed := int64(1); seed <= int64(opt.Replications); seed++ {
+			for _, scheme := range []bs.Scheme{bs.Basic, bs.EBSN} {
+				cfg := core.WAN(scheme, opt.PacketSize, sev.MeanBad)
+				cfg.Channel.BadBER = sev.BadBER
+				cfg.Seed = opt.BaseSeed + seed
+				if opt.Transfer > 0 {
+					cfg.TransferSize = opt.Transfer
+				}
+				r, err := core.Run(cfg)
+				if err != nil {
+					return nil, err
+				}
+				if scheme == bs.Basic {
+					basic.Add(r.Summary.ThroughputKbps)
+				} else {
+					ebsn.Add(r.Summary.ThroughputKbps)
+				}
+			}
+		}
+		imp := 0.0
+		if basic.Mean() > 0 {
+			imp = 100 * (ebsn.Mean() - basic.Mean()) / basic.Mean()
+		}
+		out = append(out, SeverityPoint{
+			MeanBad:        sev.MeanBad,
+			BadBER:         sev.BadBER,
+			BasicKbps:      &basic,
+			EBSNKbps:       &ebsn,
+			ImprovementPct: imp,
+		})
+	}
+	return out, nil
+}
+
+// RenderSeverityTable formats the study.
+func RenderSeverityTable(title string, points []SeverityPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-10s  %-10s  %-12s  %-12s  %-12s\n",
+		"bad", "bad BER", "basic(Kbps)", "ebsn(Kbps)", "improvement")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-10s  %-10.0e  %-12.2f  %-12.2f  %+.0f%%\n",
+			p.MeanBad, p.BadBER, p.BasicKbps.Mean(), p.EBSNKbps.Mean(), p.ImprovementPct)
+	}
+	return b.String()
+}

@@ -1,0 +1,30 @@
+package handoff_test
+
+import (
+	"fmt"
+
+	"wtcp/internal/handoff"
+)
+
+// Example reproduces the mobility mitigation from [Caceres & Iftode 94]:
+// re-sending three duplicate acks after a cell switch converts every
+// post-handoff RTO stall into a fast retransmit.
+func Example() {
+	plain, err := handoff.Run(handoff.Defaults(handoff.Plain))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fr, err := handoff.Run(handoff.Defaults(handoff.FastRetransmit))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("plain timeouts > 0:       ", plain.Timeouts > 0)
+	fmt.Println("fast-retransmit timeouts: ", fr.Timeouts)
+	fmt.Println("fast retransmit is faster:", fr.Elapsed < plain.Elapsed)
+	// Output:
+	// plain timeouts > 0:        true
+	// fast-retransmit timeouts:  0
+	// fast retransmit is faster: true
+}

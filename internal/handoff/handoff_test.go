@@ -1,0 +1,161 @@
+package handoff
+
+import (
+	"testing"
+	"time"
+
+	"wtcp/internal/units"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := Defaults(Plain).Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"unknown scheme", func(c *Config) { c.Scheme = 0 }},
+		{"packet below header", func(c *Config) { c.PacketSize = 10 }},
+		{"zero transfer", func(c *Config) { c.TransferSize = 0 }},
+		{"window below segment", func(c *Config) { c.Window = 100 }},
+		{"zero wired rate", func(c *Config) { c.WiredRate = 0 }},
+		{"zero dwell", func(c *Config) { c.Dwell = 0 }},
+		{"negative latency", func(c *Config) { c.Latency = -time.Second }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := Defaults(Plain)
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+			if _, err := Run(cfg); err == nil {
+				t.Error("Run accepted invalid config")
+			}
+		})
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Plain.String() != "plain" || FastRetransmit.String() != "fastretransmit" {
+		t.Error("scheme names")
+	}
+	if Scheme(9).String() == "" {
+		t.Error("unknown scheme should render")
+	}
+}
+
+func TestNoHandoffsMeansCleanTransfer(t *testing.T) {
+	cfg := Defaults(Plain)
+	cfg.Dwell = time.Hour // never triggers within the transfer
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed {
+		t.Fatal("did not complete")
+	}
+	if r.Handoffs != 0 || r.Timeouts != 0 || r.DroppedAtHandoff != 0 {
+		t.Errorf("clean run saw events: %+v", r)
+	}
+	// ~1.4-1.6 Mbps payload through a 2 Mbps stop-free cell.
+	if r.ThroughputKbps < 1200 {
+		t.Errorf("clean throughput = %.0f kbps", r.ThroughputKbps)
+	}
+}
+
+func TestPlainTCPSuffersTimeoutsPerHandoff(t *testing.T) {
+	r, err := Run(Defaults(Plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed {
+		t.Fatal("did not complete")
+	}
+	if r.Handoffs == 0 {
+		t.Fatal("no handoffs happened")
+	}
+	if r.Timeouts == 0 {
+		t.Error("plain TCP recovered without timeouts (losses should force RTO)")
+	}
+	if r.DroppedAtHandoff == 0 {
+		t.Error("no packets lost to handoffs")
+	}
+}
+
+func TestFastRetransmitEliminatesTimeouts(t *testing.T) {
+	plain, err := Run(Defaults(Plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := Run(Defaults(FastRetransmit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr.Completed {
+		t.Fatal("fast-retransmit run did not complete")
+	}
+	if fr.Timeouts >= plain.Timeouts {
+		t.Errorf("fast retransmit timeouts %d not below plain %d", fr.Timeouts, plain.Timeouts)
+	}
+	if fr.FastRetransmits == 0 {
+		t.Error("the dupack nudge never triggered a fast retransmit")
+	}
+	// The headline: the transfer finishes sooner.
+	if fr.Elapsed >= plain.Elapsed {
+		t.Errorf("fast retransmit elapsed %v not below plain %v", fr.Elapsed, plain.Elapsed)
+	}
+	if fr.ThroughputKbps <= plain.ThroughputKbps {
+		t.Errorf("fast retransmit %.0f kbps not above plain %.0f kbps",
+			fr.ThroughputKbps, plain.ThroughputKbps)
+	}
+}
+
+func TestLongerGapsHurtMore(t *testing.T) {
+	short := Defaults(Plain)
+	short.Latency = 50 * time.Millisecond
+	long := Defaults(Plain)
+	long.Latency = 500 * time.Millisecond
+	rs, err := Run(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := Run(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Elapsed <= rs.Elapsed {
+		t.Errorf("500ms gaps (%v) not slower than 50ms gaps (%v)", rl.Elapsed, rs.Elapsed)
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a, err := Run(Defaults(FastRetransmit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Defaults(FastRetransmit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.Timeouts != b.Timeouts || a.DroppedAtHandoff != b.DroppedAtHandoff {
+		t.Error("same configuration diverged (run should be deterministic)")
+	}
+}
+
+func TestSmallTransferAcrossManyHandoffs(t *testing.T) {
+	cfg := Defaults(FastRetransmit)
+	cfg.TransferSize = 4 * units.MB
+	cfg.Dwell = 500 * time.Millisecond
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed {
+		t.Fatal("long transfer with frequent handoffs did not complete")
+	}
+	if r.Handoffs < 10 {
+		t.Errorf("handoffs = %d, want many", r.Handoffs)
+	}
+}

@@ -1,0 +1,232 @@
+// Package ip implements the fragmentation the base station performs before
+// the wireless hop and the all-or-nothing reassembly at the mobile host.
+//
+// Following the paper's model, a wired-side packet of W bytes (TCP payload
+// plus 40-byte header) is sliced into ceil(W/MTU) link-level fragments of
+// at most MTU bytes each; the radio's framing/FEC overhead (the 1.5x
+// factor) is applied by the wireless link, not here. Loss of any fragment
+// loses the whole packet — exactly the behaviour [Kent & Mogul 1988] warn
+// about and the paper's packet-size study quantifies.
+package ip
+
+import (
+	"errors"
+	"time"
+
+	"wtcp/internal/packet"
+	"wtcp/internal/sim"
+	"wtcp/internal/units"
+)
+
+// ErrBadMTU is returned when constructing a Fragmenter with a non-positive
+// MTU.
+var ErrBadMTU = errors.New("ip: MTU must be positive")
+
+// Fragmenter slices Data segments into wireless-MTU fragments.
+type Fragmenter struct {
+	mtu units.ByteSize
+	ids *packet.IDGen
+}
+
+// NewFragmenter returns a fragmenter for the given wireless MTU, drawing
+// fragment IDs from ids.
+func NewFragmenter(mtu units.ByteSize, ids *packet.IDGen) (*Fragmenter, error) {
+	if mtu <= 0 {
+		return nil, ErrBadMTU
+	}
+	return &Fragmenter{mtu: mtu, ids: ids}, nil
+}
+
+// MTU reports the configured maximum fragment size.
+func (f *Fragmenter) MTU() units.ByteSize { return f.mtu }
+
+// Fragment slices p (a Data segment) into fragments of at most MTU bytes.
+// A packet that already fits in the MTU still yields a single fragment so
+// the ARQ path is uniform. Fragments carry a pointer back to the original
+// segment via Orig for reassembly.
+func (f *Fragmenter) Fragment(p *packet.Packet) []*packet.Packet {
+	total := p.Size()
+	count := int((total + f.mtu - 1) / f.mtu)
+	if count < 1 {
+		count = 1
+	}
+	frags := make([]*packet.Packet, 0, count)
+	remaining := total
+	for i := 0; i < count; i++ {
+		chunk := f.mtu
+		if remaining < chunk {
+			chunk = remaining
+		}
+		remaining -= chunk
+		frags = append(frags, &packet.Packet{
+			ID:               f.ids.Next(),
+			Kind:             packet.Fragment,
+			Conn:             p.Conn,
+			Seq:              p.Seq,
+			Payload:          chunk,
+			Retransmit:       p.Retransmit,
+			CongestionMarked: p.CongestionMarked,
+			FragOf:           p.ID,
+			FragIndex:        i,
+			FragCount:        count,
+			SentAt:           p.SentAt,
+		})
+	}
+	return frags
+}
+
+// FragmentCount reports how many fragments a packet of the given on-wire
+// size produces, without allocating them.
+func (f *Fragmenter) FragmentCount(size units.ByteSize) int {
+	n := int((size + f.mtu - 1) / f.mtu)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Stats counts reassembler activity.
+type Stats struct {
+	// Completed counts fully reassembled packets delivered upward.
+	Completed uint64
+	// Duplicates counts fragments that arrived for an already-held index
+	// (ARQ retransmission after a lost link-level ack).
+	Duplicates uint64
+	// Expired counts partial groups purged by the reassembly timeout.
+	Expired uint64
+	// Stale counts fragments that arrived after their group completed or
+	// expired.
+	Stale uint64
+}
+
+// group tracks one in-progress reassembly.
+type group struct {
+	have  map[int]bool
+	count int
+	timer *sim.Event
+	orig  originKey
+}
+
+// originKey carries the original segment's identity so the reassembled
+// packet can be rebuilt without holding a pointer to the sender's object.
+type originKey struct {
+	id         uint64
+	conn       int
+	seq        int64
+	payload    units.ByteSize
+	retransmit bool
+	marked     bool
+	sentAt     time.Duration
+}
+
+// Reassembler collects fragments and delivers the original segment when a
+// group completes. Partial groups are purged after Timeout (a lost
+// fragment must not hold buffer state forever — the TCP source will send a
+// fresh segment with a fresh packet ID).
+type Reassembler struct {
+	sim     *sim.Simulator
+	timeout time.Duration
+	deliver func(*packet.Packet)
+	groups  map[uint64]*group
+	done    map[uint64]bool
+	stats   Stats
+}
+
+// DefaultReassemblyTimeout matches common IP stack defaults (60 s is the
+// BSD ip reassembly TTL ballpark).
+const DefaultReassemblyTimeout = 60 * time.Second
+
+// NewReassembler returns a reassembler delivering completed segments to
+// deliver. A non-positive timeout uses DefaultReassemblyTimeout.
+func NewReassembler(s *sim.Simulator, timeout time.Duration, deliver func(*packet.Packet)) (*Reassembler, error) {
+	if deliver == nil {
+		return nil, errors.New("ip: nil deliver callback")
+	}
+	if timeout <= 0 {
+		timeout = DefaultReassemblyTimeout
+	}
+	return &Reassembler{
+		sim:     s,
+		timeout: timeout,
+		deliver: deliver,
+		groups:  make(map[uint64]*group),
+		done:    make(map[uint64]bool),
+	}, nil
+}
+
+// Stats returns a copy of the counters.
+func (r *Reassembler) Stats() Stats { return r.stats }
+
+// Pending reports how many groups are partially assembled.
+func (r *Reassembler) Pending() int { return len(r.groups) }
+
+// Receive accepts one fragment. When the fragment completes its group, the
+// original Data segment is rebuilt and delivered; duplicates and stale
+// fragments are counted and dropped.
+func (r *Reassembler) Receive(frag *packet.Packet) {
+	if frag.Kind != packet.Fragment {
+		// Whole packets (LAN mode acks, control) pass straight through.
+		r.deliver(frag)
+		return
+	}
+	if r.done[frag.FragOf] {
+		r.stats.Stale++
+		return
+	}
+	g, ok := r.groups[frag.FragOf]
+	if !ok {
+		g = &group{
+			have:  make(map[int]bool),
+			count: frag.FragCount,
+			orig: originKey{
+				id:         frag.FragOf,
+				conn:       frag.Conn,
+				seq:        frag.Seq,
+				retransmit: frag.Retransmit,
+				sentAt:     frag.SentAt,
+			},
+		}
+		id := frag.FragOf
+		g.timer = r.sim.Schedule(r.timeout, func() { r.expire(id) })
+		r.groups[frag.FragOf] = g
+	}
+	if g.have[frag.FragIndex] {
+		r.stats.Duplicates++
+		return
+	}
+	g.have[frag.FragIndex] = true
+	g.orig.payload += frag.Payload
+	if frag.CongestionMarked {
+		g.orig.marked = true
+	}
+	if len(g.have) < g.count {
+		return
+	}
+	// Complete: rebuild the original segment. The summed fragment bytes
+	// include the 40-byte header, so subtract it to recover the TCP
+	// payload length.
+	r.sim.Cancel(g.timer)
+	delete(r.groups, frag.FragOf)
+	r.done[frag.FragOf] = true
+	r.stats.Completed++
+	r.deliver(&packet.Packet{
+		ID:               g.orig.id,
+		Kind:             packet.Data,
+		Conn:             g.orig.conn,
+		Seq:              g.orig.seq,
+		Payload:          g.orig.payload - packet.HeaderSize,
+		Retransmit:       g.orig.retransmit,
+		CongestionMarked: g.orig.marked,
+		SentAt:           g.orig.sentAt,
+	})
+}
+
+// expire purges a partial group whose timeout elapsed.
+func (r *Reassembler) expire(id uint64) {
+	if _, ok := r.groups[id]; !ok {
+		return
+	}
+	delete(r.groups, id)
+	r.done[id] = true
+	r.stats.Expired++
+}

@@ -1,0 +1,301 @@
+package ip
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"wtcp/internal/packet"
+	"wtcp/internal/sim"
+	"wtcp/internal/units"
+)
+
+func newFragmenter(t *testing.T, mtu units.ByteSize) *Fragmenter {
+	t.Helper()
+	f, err := NewFragmenter(mtu, &packet.IDGen{})
+	if err != nil {
+		t.Fatalf("NewFragmenter: %v", err)
+	}
+	return f
+}
+
+func TestNewFragmenterRejectsBadMTU(t *testing.T) {
+	for _, mtu := range []units.ByteSize{0, -1} {
+		if _, err := NewFragmenter(mtu, &packet.IDGen{}); err == nil {
+			t.Errorf("MTU %d accepted", mtu)
+		}
+	}
+}
+
+func TestFragmentSlicing(t *testing.T) {
+	tests := []struct {
+		name      string
+		payload   units.ByteSize // TCP payload; on-wire = payload + 40
+		mtu       units.ByteSize
+		wantCount int
+		wantLast  units.ByteSize
+	}{
+		{"576B packet, 128 MTU", 536, 128, 5, 64}, // 576 = 4*128 + 64
+		{"exact multiple", 472, 128, 4, 128},      // 512 = 4*128
+		{"fits in one MTU", 60, 128, 1, 100},
+		{"single byte over", 89, 128, 2, 1}, // 129 = 128 + 1
+		{"1536B packet", 1496, 128, 12, 128},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := newFragmenter(t, tt.mtu)
+			p := &packet.Packet{ID: 42, Kind: packet.Data, Seq: 1000, Payload: tt.payload}
+			frags := f.Fragment(p)
+			if len(frags) != tt.wantCount {
+				t.Fatalf("got %d fragments, want %d", len(frags), tt.wantCount)
+			}
+			var sum units.ByteSize
+			for i, fr := range frags {
+				if fr.Kind != packet.Fragment {
+					t.Errorf("fragment %d kind = %v", i, fr.Kind)
+				}
+				if fr.FragOf != p.ID || fr.FragCount != tt.wantCount || fr.FragIndex != i {
+					t.Errorf("fragment %d ids wrong: %+v", i, fr)
+				}
+				if fr.Payload > tt.mtu {
+					t.Errorf("fragment %d exceeds MTU: %d", i, fr.Payload)
+				}
+				if fr.Seq != p.Seq {
+					t.Errorf("fragment %d seq = %d, want %d", i, fr.Seq, p.Seq)
+				}
+				sum += fr.Payload
+			}
+			if sum != p.Size() {
+				t.Errorf("fragment bytes sum to %d, want %d", sum, p.Size())
+			}
+			if last := frags[len(frags)-1].Payload; last != tt.wantLast {
+				t.Errorf("last fragment = %d bytes, want %d", last, tt.wantLast)
+			}
+			if got := f.FragmentCount(p.Size()); got != tt.wantCount {
+				t.Errorf("FragmentCount = %d, want %d", got, tt.wantCount)
+			}
+		})
+	}
+}
+
+func TestFragmentPropagatesRetransmitFlag(t *testing.T) {
+	f := newFragmenter(t, 128)
+	p := &packet.Packet{ID: 1, Kind: packet.Data, Payload: 536, Retransmit: true}
+	for _, fr := range f.Fragment(p) {
+		if !fr.Retransmit {
+			t.Fatal("retransmit flag lost in fragmentation")
+		}
+	}
+}
+
+func TestFragmentIDsUnique(t *testing.T) {
+	f := newFragmenter(t, 128)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10; i++ {
+		p := &packet.Packet{ID: uint64(100 + i), Kind: packet.Data, Payload: 536}
+		for _, fr := range f.Fragment(p) {
+			if seen[fr.ID] {
+				t.Fatalf("duplicate fragment ID %d", fr.ID)
+			}
+			seen[fr.ID] = true
+		}
+	}
+}
+
+func reassemble(t *testing.T, s *sim.Simulator, timeout time.Duration) (*Reassembler, *[]*packet.Packet) {
+	t.Helper()
+	var got []*packet.Packet
+	r, err := NewReassembler(s, timeout, func(p *packet.Packet) { got = append(got, p) })
+	if err != nil {
+		t.Fatalf("NewReassembler: %v", err)
+	}
+	return r, &got
+}
+
+func TestReassembleRoundTrip(t *testing.T) {
+	s := sim.New()
+	f := newFragmenter(t, 128)
+	r, got := reassemble(t, s, 0)
+
+	orig := &packet.Packet{ID: 7, Kind: packet.Data, Seq: 2048, Payload: 536, Retransmit: true}
+	for _, fr := range f.Fragment(orig) {
+		r.Receive(fr)
+	}
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(*got))
+	}
+	p := (*got)[0]
+	if p.ID != orig.ID || p.Seq != orig.Seq || p.Payload != orig.Payload ||
+		p.Kind != packet.Data || !p.Retransmit {
+		t.Errorf("reassembled %+v, want equivalent of %+v", p, orig)
+	}
+	if r.Stats().Completed != 1 {
+		t.Errorf("Completed = %d", r.Stats().Completed)
+	}
+	if r.Pending() != 0 {
+		t.Errorf("Pending = %d", r.Pending())
+	}
+}
+
+func TestReassembleOutOfOrder(t *testing.T) {
+	s := sim.New()
+	f := newFragmenter(t, 128)
+	r, got := reassemble(t, s, 0)
+	frags := f.Fragment(&packet.Packet{ID: 9, Kind: packet.Data, Seq: 0, Payload: 536})
+	// Deliver in reverse.
+	for i := len(frags) - 1; i >= 0; i-- {
+		r.Receive(frags[i])
+	}
+	if len(*got) != 1 || (*got)[0].Payload != 536 {
+		t.Fatalf("out-of-order reassembly failed: %v", *got)
+	}
+}
+
+func TestReassembleDuplicatesIdempotent(t *testing.T) {
+	s := sim.New()
+	f := newFragmenter(t, 128)
+	r, got := reassemble(t, s, 0)
+	frags := f.Fragment(&packet.Packet{ID: 3, Kind: packet.Data, Payload: 536})
+	// Each fragment delivered twice (lost link-acks cause ARQ re-sends).
+	for _, fr := range frags {
+		r.Receive(fr)
+		r.Receive(fr)
+	}
+	if len(*got) != 1 {
+		t.Fatalf("delivered %d, want 1", len(*got))
+	}
+	if (*got)[0].Payload != 536 {
+		t.Errorf("payload = %d after duplicates", (*got)[0].Payload)
+	}
+	if r.Stats().Duplicates == 0 {
+		t.Error("duplicates not counted")
+	}
+}
+
+func TestStaleFragmentAfterCompletion(t *testing.T) {
+	s := sim.New()
+	f := newFragmenter(t, 128)
+	r, got := reassemble(t, s, 0)
+	frags := f.Fragment(&packet.Packet{ID: 4, Kind: packet.Data, Payload: 536})
+	for _, fr := range frags {
+		r.Receive(fr)
+	}
+	r.Receive(frags[0]) // straggler duplicate after completion
+	if len(*got) != 1 {
+		t.Fatalf("stale fragment re-delivered the packet")
+	}
+	if r.Stats().Stale != 1 {
+		t.Errorf("Stale = %d, want 1", r.Stats().Stale)
+	}
+}
+
+func TestIncompleteGroupExpires(t *testing.T) {
+	s := sim.New()
+	f := newFragmenter(t, 128)
+	r, got := reassemble(t, s, 10*time.Second)
+	frags := f.Fragment(&packet.Packet{ID: 5, Kind: packet.Data, Payload: 536})
+	// Deliver all but one fragment.
+	for _, fr := range frags[:len(frags)-1] {
+		r.Receive(fr)
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", r.Pending())
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Pending() != 0 {
+		t.Error("group not purged by timeout")
+	}
+	if r.Stats().Expired != 1 {
+		t.Errorf("Expired = %d, want 1", r.Stats().Expired)
+	}
+	// The straggler arriving after expiry is stale, not a new group.
+	r.Receive(frags[len(frags)-1])
+	if r.Pending() != 0 || len(*got) != 0 {
+		t.Error("straggler after expiry re-opened the group")
+	}
+	if r.Stats().Stale != 1 {
+		t.Errorf("Stale = %d, want 1", r.Stats().Stale)
+	}
+}
+
+func TestCompletionCancelsExpiryTimer(t *testing.T) {
+	s := sim.New()
+	f := newFragmenter(t, 128)
+	r, _ := reassemble(t, s, 10*time.Second)
+	for _, fr := range f.Fragment(&packet.Packet{ID: 6, Kind: packet.Data, Payload: 536}) {
+		r.Receive(fr)
+	}
+	if s.Pending() != 0 {
+		t.Errorf("%d events still pending after completion (timer leak)", s.Pending())
+	}
+}
+
+func TestNonFragmentPassesThrough(t *testing.T) {
+	s := sim.New()
+	r, got := reassemble(t, s, 0)
+	ack := &packet.Packet{ID: 11, Kind: packet.Ack, AckNo: 576}
+	r.Receive(ack)
+	if len(*got) != 1 || (*got)[0] != ack {
+		t.Error("non-fragment packet did not pass through")
+	}
+}
+
+func TestNilDeliverRejected(t *testing.T) {
+	if _, err := NewReassembler(sim.New(), 0, nil); err == nil {
+		t.Error("nil deliver accepted")
+	}
+}
+
+func TestInterleavedGroups(t *testing.T) {
+	s := sim.New()
+	f := newFragmenter(t, 128)
+	r, got := reassemble(t, s, 0)
+	a := f.Fragment(&packet.Packet{ID: 100, Kind: packet.Data, Seq: 0, Payload: 536})
+	b := f.Fragment(&packet.Packet{ID: 101, Kind: packet.Data, Seq: 576, Payload: 536})
+	for i := range a {
+		r.Receive(a[i])
+		r.Receive(b[i])
+	}
+	if len(*got) != 2 {
+		t.Fatalf("delivered %d, want 2", len(*got))
+	}
+	if (*got)[0].ID != 100 || (*got)[1].ID != 101 {
+		t.Errorf("order = %d,%d", (*got)[0].ID, (*got)[1].ID)
+	}
+}
+
+// Property: fragmentation then full reassembly is the identity on
+// (ID, Seq, Payload, Retransmit) for any payload and MTU.
+func TestPropertyFragmentReassembleIdentity(t *testing.T) {
+	f := func(payloadRaw uint16, mtuRaw uint8, retx bool) bool {
+		payload := units.ByteSize(payloadRaw%4096) + 1
+		mtu := units.ByteSize(mtuRaw)%512 + 16
+		s := sim.New()
+		fr, err := NewFragmenter(mtu, &packet.IDGen{})
+		if err != nil {
+			return false
+		}
+		var out *packet.Packet
+		r, err := NewReassembler(s, 0, func(p *packet.Packet) { out = p })
+		if err != nil {
+			return false
+		}
+		orig := &packet.Packet{ID: 77, Kind: packet.Data, Seq: 12345, Payload: payload, Retransmit: retx}
+		for _, frag := range fr.Fragment(orig) {
+			if frag.Payload > mtu {
+				return false
+			}
+			r.Receive(frag)
+		}
+		return out != nil &&
+			out.ID == orig.ID &&
+			out.Seq == orig.Seq &&
+			out.Payload == orig.Payload &&
+			out.Retransmit == orig.Retransmit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

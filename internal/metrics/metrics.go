@@ -1,0 +1,88 @@
+// Package metrics computes the paper's two performance measures from raw
+// endpoint statistics:
+//
+//   - Throughput: total data received by the end user divided by the
+//     connection time. Per §5 ("we take into account 40 bytes of header
+//     overhead while measuring connection throughput"), the numerator is
+//     user payload only — headers are deducted. That header tax is what
+//     makes small packets score low in Figure 7 (a 128-byte packet spends
+//     31% of the wire on headers) and what makes EBSN throughput rise
+//     with packet size toward tput_th in Figure 8.
+//   - Goodput: useful data received at the destination divided by total
+//     data transmitted by the source, both at the network layer — 1.0
+//     when nothing was retransmitted (the paper reports 100% goodput for
+//     EBSN).
+package metrics
+
+import (
+	"time"
+
+	"wtcp/internal/packet"
+	"wtcp/internal/tcp"
+	"wtcp/internal/units"
+)
+
+// Summary is the per-run measurement record.
+type Summary struct {
+	// Elapsed is the connection time (start to last-byte-acknowledged).
+	Elapsed time.Duration
+	// UserBytes is the delivered user payload (headers deducted), the
+	// throughput numerator.
+	UserBytes units.ByteSize
+	// ThroughputKbps and ThroughputMbps express UserBytes/Elapsed.
+	ThroughputKbps float64
+	ThroughputMbps float64
+	// Goodput is UserBytes over everything the source transmitted.
+	Goodput float64
+	// RetransmittedBytes counts source retransmissions (network-layer),
+	// the paper's "data retransmitted" series.
+	RetransmittedBytes units.ByteSize
+	// Timeouts, FastRetransmits and EBSNResets summarize source events.
+	Timeouts        uint64
+	FastRetransmits uint64
+	EBSNResets      uint64
+}
+
+// Segments reports how many segments a transfer of total bytes needs at
+// the given MSS.
+func Segments(total, mss units.ByteSize) int64 {
+	if mss <= 0 || total <= 0 {
+		return 0
+	}
+	return int64((total + mss - 1) / mss)
+}
+
+// WireBytes reports the on-wire bytes of a transfer's original segments:
+// payload plus one header per segment.
+func WireBytes(total, mss units.ByteSize) units.ByteSize {
+	return total + units.ByteSize(Segments(total, mss))*packet.HeaderSize
+}
+
+// Summarize computes the run summary for a completed transfer of total
+// payload bytes segmented at mss, finished at elapsed, with the sender's
+// counters.
+func Summarize(total, mss units.ByteSize, st tcp.Stats, elapsed time.Duration) Summary {
+	s := Summary{
+		Elapsed:            elapsed,
+		UserBytes:          total,
+		ThroughputKbps:     units.ThroughputKbps(total, elapsed),
+		ThroughputMbps:     units.ThroughputMbps(total, elapsed),
+		RetransmittedBytes: st.RetransBytes,
+		Timeouts:           st.Timeouts,
+		FastRetransmits:    st.FastRetransmits,
+		EBSNResets:         st.EBSNResets,
+	}
+	// Goodput compares like with like at the network layer: the wire
+	// bytes of the segments the user needed against everything the
+	// source transmitted.
+	if st.BytesSent > 0 {
+		s.Goodput = float64(WireBytes(total, mss)) / float64(st.BytesSent)
+	}
+	return s
+}
+
+// RetransmittedKB reports the retransmitted volume in the paper's KBytes
+// unit.
+func (s Summary) RetransmittedKB() float64 {
+	return float64(s.RetransmittedBytes) / float64(units.KB)
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wtcp/internal/tcp"
+	"wtcp/internal/units"
+)
+
+func TestSegments(t *testing.T) {
+	tests := []struct {
+		total, mss units.ByteSize
+		want       int64
+	}{
+		{100 * units.KB, 536, 192}, // 102400/536 = 191.04 -> 192
+		{536, 536, 1},
+		{537, 536, 2},
+		{0, 536, 0},
+		{536, 0, 0},
+	}
+	for _, tt := range tests {
+		if got := Segments(tt.total, tt.mss); got != tt.want {
+			t.Errorf("Segments(%d,%d) = %d, want %d", tt.total, tt.mss, got, tt.want)
+		}
+	}
+}
+
+func TestWireBytes(t *testing.T) {
+	// 10 segments of 536 payload carry 10 headers.
+	got := WireBytes(5360, 536)
+	want := units.ByteSize(5360 + 400)
+	if got != want {
+		t.Errorf("WireBytes = %d, want %d", got, want)
+	}
+}
+
+func TestSummarizeCleanRun(t *testing.T) {
+	total := 100 * units.KB
+	mss := units.ByteSize(536)
+	st := tcp.Stats{BytesSent: WireBytes(total, mss)}
+	s := Summarize(total, mss, st, 64*time.Second)
+	if s.Goodput < 0.9999 || s.Goodput > 1.0001 {
+		t.Errorf("clean goodput = %v, want 1.0", s.Goodput)
+	}
+	// Throughput counts user payload only (headers deducted).
+	wantKbps := float64(total.Bits()) / 64 / 1000
+	if math.Abs(s.ThroughputKbps-wantKbps) > 0.01 {
+		t.Errorf("throughput = %v, want %v", s.ThroughputKbps, wantKbps)
+	}
+	if math.Abs(s.ThroughputMbps-wantKbps/1000) > 1e-6 {
+		t.Error("Mbps inconsistent with Kbps")
+	}
+}
+
+func TestSummarizeLossyRun(t *testing.T) {
+	total := 10 * units.KB
+	mss := units.ByteSize(536)
+	fresh := WireBytes(total, mss)
+	st := tcp.Stats{
+		BytesSent:    fresh + 2*units.KB, // 2KB of retransmissions
+		RetransBytes: 2 * units.KB,
+		Timeouts:     3,
+		EBSNResets:   7,
+	}
+	s := Summarize(total, mss, st, 10*time.Second)
+	wantGoodput := float64(fresh) / float64(fresh+2*units.KB)
+	if math.Abs(s.Goodput-wantGoodput) > 1e-9 {
+		t.Errorf("goodput = %v, want %v", s.Goodput, wantGoodput)
+	}
+	if s.RetransmittedKB() != 2.0 {
+		t.Errorf("RetransmittedKB = %v, want 2", s.RetransmittedKB())
+	}
+	if s.Timeouts != 3 || s.EBSNResets != 7 {
+		t.Error("counters not propagated")
+	}
+}
+
+func TestSummarizeZeroSent(t *testing.T) {
+	s := Summarize(units.KB, 536, tcp.Stats{}, time.Second)
+	if s.Goodput != 0 {
+		t.Errorf("goodput with zero sent = %v", s.Goodput)
+	}
+}
+
+func TestHeaderTaxVisibleInThroughput(t *testing.T) {
+	// 576-byte packets back-to-back at the 12.8 kbps effective rate
+	// deliver one packet per 360 ms; with headers deducted the user sees
+	// 12.8 * 536/576 ~ 11.91 kbps. With 128-byte packets the same wire
+	// delivers only 12.8 * 88/128 = 8.8 kbps — the paper's reason small
+	// packets lose in Figure 7 even before fragmentation.
+	check := func(pkt units.ByteSize, want float64) {
+		mss := pkt - 40
+		total := 100 * units.KB
+		segs := Segments(total, mss)
+		perPacket := time.Duration(float64(pkt.Bits()) / 12800 * float64(time.Second))
+		elapsed := time.Duration(segs) * perPacket
+		s := Summarize(total, mss, tcp.Stats{BytesSent: WireBytes(total, mss)}, elapsed)
+		if math.Abs(s.ThroughputKbps-want) > 0.1 {
+			t.Errorf("pkt=%d throughput = %.2f, want ~%.2f", pkt, s.ThroughputKbps, want)
+		}
+	}
+	check(576, 12.8*536/576)
+	check(128, 12.8*88/128)
+	check(1536, 12.8*1496/1536)
+}

@@ -1,0 +1,78 @@
+package multiconn
+
+import (
+	"testing"
+	"time"
+
+	"wtcp/internal/units"
+)
+
+// TestEBSNComposesWithScheduling verifies the extension beyond both
+// original studies: adding EBSN to the shared-radio scenario reduces
+// source timeouts under every scheduling policy, and most dramatically
+// under FIFO, whose long head-of-line stalls are exactly the condition
+// that fires source timers.
+func TestEBSNComposesWithScheduling(t *testing.T) {
+	run := func(p Policy, ebsn bool) (timeouts uint64, agg float64) {
+		for seed := int64(1); seed <= 3; seed++ {
+			cfg := LANDefaults(4, p, time.Second)
+			cfg.TransferSize = 256 * units.KB
+			cfg.EBSN = ebsn
+			cfg.Seed = seed
+			r, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Completed {
+				t.Fatalf("%v/ebsn=%v seed %d did not complete", p, ebsn, seed)
+			}
+			timeouts += r.TotalTimeouts
+			agg += r.AggregateKbps / 3
+			if ebsn && r.EBSNsSent == 0 && r.RadioAttempts > 100 {
+				t.Errorf("%v: EBSN enabled but none sent", p)
+			}
+			if !ebsn && r.EBSNsSent != 0 {
+				t.Errorf("%v: EBSN disabled but %d sent", p, r.EBSNsSent)
+			}
+		}
+		return timeouts, agg
+	}
+	for _, p := range []Policy{FIFO, RoundRobin} {
+		plainTO, plainAgg := run(p, false)
+		ebsnTO, ebsnAgg := run(p, true)
+		if ebsnTO > plainTO {
+			t.Errorf("%v: EBSN timeouts %d above plain %d", p, ebsnTO, plainTO)
+		}
+		if plainTO > 0 && ebsnAgg < plainAgg*0.95 {
+			t.Errorf("%v: EBSN aggregate %.0f well below plain %.0f", p, ebsnAgg, plainAgg)
+		}
+	}
+}
+
+func TestEBSNFIFOTimeoutReduction(t *testing.T) {
+	// FIFO + fades stall every connection for seconds at a time; EBSN
+	// must remove a large share of the resulting timeouts.
+	var plain, withEBSN uint64
+	for seed := int64(1); seed <= 3; seed++ {
+		cfg := LANDefaults(4, FIFO, 1500*time.Millisecond)
+		cfg.TransferSize = 256 * units.KB
+		cfg.Seed = seed
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain += r.TotalTimeouts
+		cfg.EBSN = true
+		re, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withEBSN += re.TotalTimeouts
+	}
+	if plain == 0 {
+		t.Skip("no baseline timeouts with these seeds")
+	}
+	if withEBSN*2 > plain {
+		t.Errorf("EBSN removed too few timeouts: %d -> %d", plain, withEBSN)
+	}
+}

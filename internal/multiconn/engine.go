@@ -1,0 +1,277 @@
+package multiconn
+
+import (
+	"time"
+
+	"wtcp/internal/errmodel"
+	"wtcp/internal/link"
+	"wtcp/internal/packet"
+	"wtcp/internal/queue"
+	"wtcp/internal/sim"
+	"wtcp/internal/tcp"
+	"wtcp/internal/units"
+)
+
+// connection bundles one TCP transfer's endpoints and channel.
+type connection struct {
+	index    int
+	channel  *errmodel.Markov
+	queue    *queue.DropTail
+	sender   *tcp.Sender
+	sink     *tcp.Sink
+	wiredFwd *link.Link
+	wiredRev *link.Link
+}
+
+// engine is the shared-radio scheduler: per-connection queues (or one
+// global FIFO order emulated through them), a stop-and-wait link ARQ, and
+// the policy-specific pick of the next unit.
+type engine struct {
+	sim  *sim.Simulator
+	cfg  Config
+	ids  *packet.IDGen
+	rng  *sim.RNG // corruption + backoff draws
+	pred *sim.RNG // predictor error draws
+
+	conns []*connection
+
+	// fifoOrder holds connection indices in packet-arrival order for the
+	// FIFO policy (the queues still hold the packets; this preserves the
+	// global order).
+	fifoOrder []int
+
+	// Radio state: one unit in flight at a time (stop-and-wait).
+	busy     bool
+	attempts uint64
+	discards uint64
+	// skippedBad counts CSDP skip decisions.
+	skippedBad uint64
+	// ebsnsSent counts per-connection bad-state notifications.
+	ebsnsSent uint64
+	// tries tracks the current head packet's transmission count per
+	// connection (the head is retried until acked or discarded).
+	tries map[int]int
+	// pollTimer re-kicks the scheduler when CSDP finds all queues
+	// blocked by bad channels.
+	pollTimer *sim.Timer
+	// rr is the round-robin pointer.
+	rr int
+}
+
+// csdpPollInterval is how often a fully-blocked CSDP scheduler re-checks
+// the channels.
+const csdpPollInterval = 10 * time.Millisecond
+
+// enqueueFromWire admits a data packet arriving over a wired link.
+func (e *engine) enqueueFromWire(p *packet.Packet) {
+	if p.Kind != packet.Data {
+		return
+	}
+	c := e.conns[p.Conn]
+	if !c.queue.Push(p) {
+		return // tail drop; TCP recovers end to end
+	}
+	if e.cfg.Policy == FIFO {
+		e.fifoOrder = append(e.fifoOrder, p.Conn)
+	}
+	e.kick()
+}
+
+// allDone reports whether every connection finished.
+func (e *engine) allDone() bool {
+	for _, c := range e.conns {
+		if !c.sender.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// kick starts a transmission if the radio is idle and a unit is eligible.
+func (e *engine) kick() {
+	if e.busy {
+		return
+	}
+	conn, ok := e.pickNext()
+	if !ok {
+		return
+	}
+	p := e.conns[conn].queue.Peek()
+	if p == nil {
+		return
+	}
+	e.transmit(conn, p)
+}
+
+// pickNext selects the next connection to serve, per policy. It reports
+// false when nothing is eligible right now.
+func (e *engine) pickNext() (int, bool) {
+	switch e.cfg.Policy {
+	case FIFO:
+		for len(e.fifoOrder) > 0 {
+			conn := e.fifoOrder[0]
+			if e.conns[conn].queue.Len() > 0 {
+				return conn, true
+			}
+			// The entry's packet was discarded; drop the stale order slot.
+			e.fifoOrder = e.fifoOrder[1:]
+		}
+		return 0, false
+	case RoundRobin:
+		return e.nextNonEmpty(func(int) bool { return true })
+	default: // CSDP
+		conn, ok := e.nextNonEmpty(func(c int) bool { return e.predictGood(c) })
+		if ok {
+			return conn, true
+		}
+		// Everything pending is predicted bad: poll again shortly rather
+		// than burn the radio on doomed transmissions.
+		if e.anyQueued() && !e.pollTimer.Pending() {
+			e.pollTimer.Set(csdpPollInterval)
+		}
+		return 0, false
+	}
+}
+
+// nextNonEmpty scans round-robin from the pointer for a non-empty queue
+// accepted by eligible.
+func (e *engine) nextNonEmpty(eligible func(conn int) bool) (int, bool) {
+	n := len(e.conns)
+	for i := 1; i <= n; i++ {
+		conn := (e.rr + i) % n
+		if e.conns[conn].queue.Len() == 0 {
+			continue
+		}
+		if !eligible(conn) {
+			e.skippedBad++
+			continue
+		}
+		e.rr = conn
+		return conn, true
+	}
+	return 0, false
+}
+
+// anyQueued reports whether any connection has pending packets.
+func (e *engine) anyQueued() bool {
+	for _, c := range e.conns {
+		if c.queue.Len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// predictGood consults the channel predictor for a connection.
+func (e *engine) predictGood(conn int) bool {
+	truth := e.conns[conn].channel.StateAt(e.sim.Now()) == errmodel.Good
+	if e.pred.Bernoulli(e.cfg.PredictorAccuracy) {
+		return truth
+	}
+	return !truth
+}
+
+// transmit puts the head packet of conn on the radio (stop-and-wait: the
+// radio is held until the link-ack deadline).
+func (e *engine) transmit(conn int, p *packet.Packet) {
+	e.busy = true
+	e.attempts++
+	e.tries[conn]++
+
+	start := e.sim.Now()
+	tx := units.TransmissionTime(p.Size(), e.cfg.WirelessRate)
+	ackTx := units.TransmissionTime(packet.ControlSize, e.cfg.WirelessRate)
+	cycle := tx + 2*e.cfg.WirelessDelay + ackTx
+
+	e.sim.Schedule(cycle, func() {
+		e.busy = false
+		ch := e.conns[conn].channel
+		dataBits := int64(p.Size().Bits())
+		corrupted := e.rng.PoissonAtLeastOne(ch.ExpectedBitErrors(start, start+tx, dataBits))
+		ackLost := false
+		if !corrupted {
+			// The link ack rides the same fading channel.
+			ackStart := start + tx + e.cfg.WirelessDelay
+			ackLost = e.rng.PoissonAtLeastOne(ch.ExpectedBitErrors(ackStart, ackStart+ackTx, int64(packet.ControlSize.Bits())))
+			// Data arrived: deliver regardless of the ack's fate (a lost
+			// ack only causes a duplicate later).
+			e.deliver(conn, p)
+		}
+		if corrupted || ackLost {
+			e.onAttemptFailed(conn)
+		} else {
+			e.onAttemptSucceeded(conn)
+		}
+		e.kick()
+	})
+}
+
+// onAttemptSucceeded pops the acknowledged head and resets its try count.
+func (e *engine) onAttemptSucceeded(conn int) {
+	c := e.conns[conn]
+	c.queue.Pop()
+	delete(e.tries, conn)
+	if e.cfg.Policy == FIFO && len(e.fifoOrder) > 0 {
+		e.fifoOrder = e.fifoOrder[1:]
+	}
+}
+
+// onAttemptFailed retries or discards the head packet. Under FIFO the
+// head keeps the radio's attention (head-of-line blocking — the
+// phenomenon this study quantifies); under RR/CSDP the failed head simply
+// waits for its connection's next turn.
+func (e *engine) onAttemptFailed(conn int) {
+	if e.cfg.EBSN {
+		// The paper's mechanism, generalized to many connections: the
+		// base station notifies every source whose data it is holding up
+		// — the one whose transmission failed and any bystanders queued
+		// behind it (under FIFO their delay is just as real; their
+		// timers must be pushed back too).
+		for i, c := range e.conns {
+			if i != conn && c.queue.Len() == 0 {
+				continue
+			}
+			e.ebsnsSent++
+			sender := c.sender
+			connID := i
+			e.sim.Schedule(e.cfg.WiredDelay, func() {
+				sender.Receive(&packet.Packet{Kind: packet.EBSN, Conn: connID})
+			})
+		}
+	}
+	if e.tries[conn] <= e.cfg.RTmax {
+		return // head stays queued; the next pick may retry it
+	}
+	// Discard after RTmax retransmissions.
+	e.discards++
+	c := e.conns[conn]
+	c.queue.Pop()
+	delete(e.tries, conn)
+	if e.cfg.Policy == FIFO && len(e.fifoOrder) > 0 {
+		e.fifoOrder = e.fifoOrder[1:]
+	}
+}
+
+// deliver hands a data packet to the mobile host's TCP sink; the TCP ack
+// travels back over the (fading) uplink and the wired reverse hop.
+// Radio contention for TCP acks is not modeled (they are small; the
+// original study treats them as cheap).
+func (e *engine) deliver(conn int, p *packet.Packet) {
+	c := e.conns[conn]
+	e.sim.Schedule(e.cfg.WirelessDelay, func() { c.sink.Receive(p) })
+}
+
+// ackFromMobile carries a TCP ack across the uplink (with fading) toward
+// the fixed host.
+func (e *engine) ackFromMobile(c *connection, ack *packet.Packet) {
+	start := e.sim.Now()
+	ackTx := units.TransmissionTime(ack.Size(), e.cfg.WirelessRate)
+	lost := e.rng.PoissonAtLeastOne(
+		c.channel.ExpectedBitErrors(start, start+ackTx, int64(ack.Size().Bits())))
+	if lost {
+		return
+	}
+	e.sim.Schedule(ackTx+e.cfg.WirelessDelay, func() {
+		c.wiredRev.Send(ack)
+	})
+}

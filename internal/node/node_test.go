@@ -1,0 +1,139 @@
+package node
+
+import (
+	"testing"
+
+	"wtcp/internal/packet"
+	"wtcp/internal/sim"
+	"wtcp/internal/tcp"
+	"wtcp/internal/units"
+)
+
+type harness struct {
+	s      *sim.Simulator
+	m      *Mobile
+	sink   *tcp.Sink
+	uplink []*packet.Packet
+	ids    *packet.IDGen
+}
+
+func newHarness(t *testing.T, linkAcks bool) *harness {
+	t.Helper()
+	h := &harness{s: sim.New(), ids: &packet.IDGen{}}
+	sink, err := tcp.NewSink(h.s, 4*units.KB, h.ids, func(p *packet.Packet) {
+		h.uplink = append(h.uplink, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.sink = sink
+	m, err := NewMobile(h.s, MobileConfig{LinkAcks: linkAcks}, h.ids, sink, func(p *packet.Packet) {
+		h.uplink = append(h.uplink, p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.m = m
+	return h
+}
+
+func TestConstructorValidation(t *testing.T) {
+	s := sim.New()
+	ids := &packet.IDGen{}
+	sink, err := tcp.NewSink(s, units.KB, ids, func(*packet.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMobile(s, MobileConfig{}, ids, nil, func(*packet.Packet) {}); err == nil {
+		t.Error("nil sink accepted")
+	}
+	if _, err := NewMobile(s, MobileConfig{}, ids, sink, nil); err == nil {
+		t.Error("nil uplink accepted")
+	}
+}
+
+func TestFragmentsReassembleIntoSink(t *testing.T) {
+	h := newHarness(t, false)
+	// Hand-build a two-fragment train for a 100-byte-payload segment
+	// (140 on-wire: fragments of 128 and 12).
+	frags := []*packet.Packet{
+		{ID: 1, Kind: packet.Fragment, Seq: 0, Payload: 128, FragOf: 50, FragIndex: 0, FragCount: 2},
+		{ID: 2, Kind: packet.Fragment, Seq: 0, Payload: 12, FragOf: 50, FragIndex: 1, FragCount: 2},
+	}
+	for _, f := range frags {
+		h.m.Receive(f)
+	}
+	if got := h.sink.Delivered(); got != 100 {
+		t.Errorf("sink delivered %d, want 100", got)
+	}
+	// One TCP ack emitted, no link acks.
+	if len(h.uplink) != 1 || h.uplink[0].Kind != packet.Ack {
+		t.Fatalf("uplink = %v, want a single TCP ack", h.uplink)
+	}
+	if h.m.Stats().LinkAcksSent != 0 {
+		t.Error("link acks sent while disabled")
+	}
+	if h.m.Stats().UnitsReceived != 2 {
+		t.Errorf("UnitsReceived = %d", h.m.Stats().UnitsReceived)
+	}
+}
+
+func TestLinkAcksEmittedPerUnit(t *testing.T) {
+	h := newHarness(t, true)
+	h.m.Receive(&packet.Packet{ID: 7, Kind: packet.Fragment, Seq: 0, Payload: 128, FragOf: 50, FragIndex: 0, FragCount: 2})
+	if len(h.uplink) != 1 {
+		t.Fatalf("uplink = %d packets, want 1 link ack", len(h.uplink))
+	}
+	la := h.uplink[0]
+	if la.Kind != packet.LinkAck || la.AckNo != 7 {
+		t.Errorf("link ack = %+v", la)
+	}
+	if h.m.Stats().LinkAcksSent != 1 {
+		t.Error("LinkAcksSent not counted")
+	}
+}
+
+func TestWholePacketModeLAN(t *testing.T) {
+	h := newHarness(t, true)
+	h.m.Receive(&packet.Packet{ID: 3, Kind: packet.Data, Seq: 0, Payload: 1496})
+	// Link ack first, then the sink's TCP ack.
+	if len(h.uplink) != 2 {
+		t.Fatalf("uplink = %d packets, want link ack + TCP ack", len(h.uplink))
+	}
+	if h.uplink[0].Kind != packet.LinkAck || h.uplink[1].Kind != packet.Ack {
+		t.Errorf("uplink kinds = %v, %v", h.uplink[0].Kind, h.uplink[1].Kind)
+	}
+	if h.sink.Delivered() != 1496 {
+		t.Errorf("Delivered = %d", h.sink.Delivered())
+	}
+}
+
+func TestControlPacketsIgnored(t *testing.T) {
+	h := newHarness(t, true)
+	h.m.Receive(&packet.Packet{Kind: packet.EBSN})
+	h.m.Receive(&packet.Packet{Kind: packet.LinkAck})
+	if len(h.uplink) != 0 || h.m.Stats().UnitsReceived != 0 {
+		t.Error("control packets processed by mobile host")
+	}
+}
+
+func TestDuplicateUnitStillLinkAcked(t *testing.T) {
+	// An ARQ retransmission whose first copy arrived must be link-acked
+	// again (the first ack may have been lost) but not re-delivered.
+	h := newHarness(t, true)
+	f := &packet.Packet{ID: 9, Kind: packet.Fragment, Seq: 0, Payload: 140, FragOf: 60, FragIndex: 0, FragCount: 1}
+	h.m.Receive(f)
+	h.m.Receive(f)
+	links := 0
+	for _, p := range h.uplink {
+		if p.Kind == packet.LinkAck {
+			links++
+		}
+	}
+	if links != 2 {
+		t.Errorf("link acks = %d, want 2", links)
+	}
+	if h.sink.Delivered() != 100 {
+		t.Errorf("Delivered = %d, want 100 (no double delivery)", h.sink.Delivered())
+	}
+}

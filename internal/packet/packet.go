@@ -1,0 +1,181 @@
+// Package packet defines the network-layer packet model shared by the
+// links, the TCP endpoints, and the base station.
+//
+// The model follows the paper's setup: TCP segments carry a 40-byte
+// TCP/IP header; the base station fragments wired-side packets into
+// wireless-MTU-sized fragments; control packets (link-level ACKs, EBSN,
+// ICMP source quench) are small and header-only.
+package packet
+
+import (
+	"fmt"
+	"time"
+
+	"wtcp/internal/units"
+)
+
+// HeaderSize is the combined TCP/IP header size used throughout the paper.
+const HeaderSize units.ByteSize = 40
+
+// ControlSize is the on-wire size of control packets (link ACK, EBSN,
+// source quench): header-only.
+const ControlSize units.ByteSize = HeaderSize
+
+// SACKBlock is one contiguous received byte range [Start, End).
+type SACKBlock struct {
+	Start int64
+	End   int64
+}
+
+// MaxSACKBlocks bounds the blocks carried per acknowledgment (RFC 2018's
+// option-space limit is three when timestamps are in use).
+const MaxSACKBlocks = 3
+
+// Kind discriminates packet types.
+type Kind int
+
+// Packet kinds.
+const (
+	// Data is a TCP data segment.
+	Data Kind = iota + 1
+	// Ack is a TCP cumulative acknowledgment.
+	Ack
+	// Fragment is an IP fragment of a Data segment, produced by the base
+	// station for the wireless hop.
+	Fragment
+	// LinkAck is a link-level acknowledgment for one fragment or segment,
+	// used by the base station's local-recovery ARQ.
+	LinkAck
+	// EBSN is an Explicit Bad State Notification from the base station to
+	// the TCP source (the paper's contribution; an ICMP-style message).
+	EBSN
+	// SourceQuench is an ICMP source quench from the base station to the
+	// TCP source (the paper's negative-result comparator).
+	SourceQuench
+)
+
+var kindNames = map[Kind]string{
+	Data:         "DATA",
+	Ack:          "ACK",
+	Fragment:     "FRAG",
+	LinkAck:      "LACK",
+	EBSN:         "EBSN",
+	SourceQuench: "QUENCH",
+}
+
+// String returns the short uppercase name used in traces.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Packet is one network-layer packet. Packets are created once and passed
+// by pointer; links and agents must not mutate a packet after sending it
+// (retransmissions create fresh packets so traces can tell copies apart).
+type Packet struct {
+	// ID uniquely identifies this packet instance within a simulation run.
+	ID uint64
+	// Kind discriminates the fields below.
+	Kind Kind
+	// Conn identifies the TCP connection in multi-connection scenarios
+	// (zero in the single-connection experiments).
+	Conn int
+
+	// Seq is the sequence number of the first payload byte (Data,
+	// Fragment) or is unused (other kinds).
+	Seq int64
+	// Payload is the number of TCP payload bytes carried (Data, Fragment).
+	Payload units.ByteSize
+	// AckNo is the cumulative acknowledgment: the next byte expected by
+	// the receiver (Ack), or the fragment/segment being link-acked
+	// (LinkAck, where it holds the acked packet's ID).
+	AckNo int64
+
+	// Retransmit marks a TCP-source retransmission of previously sent
+	// data. Karn's algorithm uses it to skip RTT sampling.
+	Retransmit bool
+
+	// CongestionMarked is the ECN CE bit: set by a congested queue on a
+	// Data packet, echoed by the receiver on the corresponding Ack.
+	CongestionMarked bool
+
+	// SACK carries selective-acknowledgment blocks on an Ack (RFC 2018):
+	// byte ranges above AckNo the receiver already holds. Nil when the
+	// connection does not negotiate SACK.
+	SACK []SACKBlock
+
+	// FragOf is the ID of the original Data segment a Fragment belongs
+	// to; FragIndex/FragCount locate it within the fragment train.
+	FragOf    uint64
+	FragIndex int
+	FragCount int
+
+	// LinkSeq is the link-level sequence number a local-recovery ARQ
+	// assigns to each unit it manages, so the receiver can restore
+	// in-sequence delivery after out-of-order retransmissions. Zero means
+	// "not sequenced" (no reordering applied).
+	LinkSeq int64
+
+	// SentAt is stamped by the sending agent when the packet enters its
+	// outbound link, for tracing and RTT measurement.
+	SentAt time.Duration
+}
+
+// Size reports the packet's on-wire size at the network layer: header plus
+// payload for Data segments, the raw chunk size for Fragments (a fragment
+// is a link-level slice of the whole segment, so the original header bytes
+// are already inside Payload), and header-only for control kinds.
+func (p *Packet) Size() units.ByteSize {
+	switch p.Kind {
+	case Data:
+		return HeaderSize + p.Payload
+	case Fragment:
+		return p.Payload
+	default:
+		return ControlSize
+	}
+}
+
+// End reports the sequence number one past the last payload byte.
+func (p *Packet) End() int64 { return p.Seq + int64(p.Payload) }
+
+// IsControl reports whether the packet is a control message (no TCP
+// payload and no TCP ack semantics at the transport layer).
+func (p *Packet) IsControl() bool {
+	return p.Kind == LinkAck || p.Kind == EBSN || p.Kind == SourceQuench
+}
+
+// String renders a one-line summary for traces and test failures.
+func (p *Packet) String() string {
+	switch p.Kind {
+	case Data:
+		r := ""
+		if p.Retransmit {
+			r = " rtx"
+		}
+		return fmt.Sprintf("DATA id=%d seq=%d len=%d%s", p.ID, p.Seq, p.Payload, r)
+	case Ack:
+		return fmt.Sprintf("ACK id=%d ackno=%d", p.ID, p.AckNo)
+	case Fragment:
+		return fmt.Sprintf("FRAG id=%d of=%d %d/%d seq=%d len=%d",
+			p.ID, p.FragOf, p.FragIndex+1, p.FragCount, p.Seq, p.Payload)
+	case LinkAck:
+		return fmt.Sprintf("LACK id=%d for=%d", p.ID, p.AckNo)
+	default:
+		return fmt.Sprintf("%s id=%d", p.Kind, p.ID)
+	}
+}
+
+// IDGen allocates packet IDs unique within one simulation run. The zero
+// value is ready to use.
+type IDGen struct {
+	next uint64
+}
+
+// Next returns a fresh ID (starting at 1, so the zero ID means "unset").
+func (g *IDGen) Next() uint64 {
+	g.next++
+	return g.next
+}

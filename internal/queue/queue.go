@@ -1,0 +1,100 @@
+// Package queue provides the drop-tail FIFO used at every node's outbound
+// interface. The base station's queue occupancy additionally drives the
+// ICMP source-quench comparator, so the queue exposes occupancy counters.
+package queue
+
+import (
+	"wtcp/internal/packet"
+	"wtcp/internal/units"
+)
+
+// DropTail is a FIFO with a packet-count capacity; packets arriving to a
+// full queue are dropped (tail drop), matching the router model in ns.
+// The zero value is unusable; construct with New.
+type DropTail struct {
+	limit int
+	buf   []*packet.Packet
+	bytes units.ByteSize
+
+	enqueued uint64
+	dropped  uint64
+	peak     int
+}
+
+// New returns a queue holding at most limit packets. A non-positive limit
+// means unbounded.
+func New(limit int) *DropTail {
+	return &DropTail{limit: limit}
+}
+
+// Push appends p, or drops it and reports false if the queue is full.
+func (q *DropTail) Push(p *packet.Packet) bool {
+	if q.limit > 0 && len(q.buf) >= q.limit {
+		q.dropped++
+		return false
+	}
+	q.buf = append(q.buf, p)
+	q.bytes += p.Size()
+	q.enqueued++
+	if len(q.buf) > q.peak {
+		q.peak = len(q.buf)
+	}
+	return true
+}
+
+// Pop removes and returns the head, or nil if empty.
+func (q *DropTail) Pop() *packet.Packet {
+	if len(q.buf) == 0 {
+		return nil
+	}
+	p := q.buf[0]
+	q.buf[0] = nil
+	q.buf = q.buf[1:]
+	q.bytes -= p.Size()
+	return p
+}
+
+// Peek returns the head without removing it, or nil if empty.
+func (q *DropTail) Peek() *packet.Packet {
+	if len(q.buf) == 0 {
+		return nil
+	}
+	return q.buf[0]
+}
+
+// PushFront reinserts p at the head (used by ARQ when a transmission must
+// be retried ahead of queued traffic). PushFront never drops: requeueing a
+// packet that was already admitted must not lose it.
+func (q *DropTail) PushFront(p *packet.Packet) {
+	q.buf = append([]*packet.Packet{p}, q.buf...)
+	q.bytes += p.Size()
+	if len(q.buf) > q.peak {
+		q.peak = len(q.buf)
+	}
+}
+
+// Len reports the number of queued packets.
+func (q *DropTail) Len() int { return len(q.buf) }
+
+// Bytes reports the total queued size.
+func (q *DropTail) Bytes() units.ByteSize { return q.bytes }
+
+// Limit reports the configured capacity (0 = unbounded).
+func (q *DropTail) Limit() int { return q.limit }
+
+// Dropped reports how many pushes were refused.
+func (q *DropTail) Dropped() uint64 { return q.dropped }
+
+// Enqueued reports how many pushes were admitted.
+func (q *DropTail) Enqueued() uint64 { return q.enqueued }
+
+// Peak reports the maximum occupancy seen.
+func (q *DropTail) Peak() int { return q.peak }
+
+// Drain empties the queue and returns the packets in order.
+func (q *DropTail) Drain() []*packet.Packet {
+	out := q.buf
+	q.buf = nil
+	q.bytes = 0
+	return out
+}

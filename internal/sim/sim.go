@@ -1,0 +1,189 @@
+// Package sim implements the discrete-event simulation kernel the rest of
+// the repository is built on. It plays the role the LBL Network Simulator
+// (ns) played for the paper: a virtual clock, an ordered event queue with
+// cancellable events, and deterministic seeded randomness.
+//
+// The kernel is deliberately single-threaded: a simulation run is a
+// sequential replay of events in virtual-time order, which is what makes
+// runs reproducible bit-for-bit for a given seed. Concurrency across
+// *replications* (different seeds) is handled by callers (see
+// internal/stats.RunReplications), never inside one simulation.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrStopped is returned by Run when the simulation was halted with Stop
+// before the run condition was met.
+var ErrStopped = errors.New("sim: stopped")
+
+// Event is a scheduled callback. Events are created by Simulator.Schedule
+// and may be cancelled with Simulator.Cancel until they fire.
+type Event struct {
+	// at is the virtual time the event fires.
+	at time.Duration
+	// seq breaks ties between events scheduled for the same instant:
+	// earlier-scheduled events fire first (FIFO within a timestamp).
+	seq uint64
+	// index is the event's position in the heap, or -1 once it has been
+	// removed (fired or cancelled).
+	index int
+	fn    func()
+}
+
+// At reports the virtual time at which the event is (or was) scheduled to
+// fire.
+func (e *Event) At() time.Duration { return e.at }
+
+// Pending reports whether the event is still queued (not yet fired and not
+// cancelled).
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		// The heap is private to this package; a non-*Event push is a
+		// programming error inside the package itself.
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator owns the virtual clock and the pending-event queue. The zero
+// value is ready to use.
+type Simulator struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// fired counts events executed; useful for tests and for detecting
+	// runaway simulations.
+	fired uint64
+}
+
+// New returns an empty simulator with the clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now reports the current virtual time (elapsed since the start of the
+// simulation).
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Fired reports how many events have executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are queued.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// Schedule queues fn to run after delay of virtual time. A negative delay
+// is treated as zero (fire as soon as possible, after already-queued events
+// at the current instant). The returned Event may be passed to Cancel.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	ev := &Event{at: s.now + delay, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return ev
+}
+
+// ScheduleAt queues fn at an absolute virtual time. Times in the past are
+// clamped to now.
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Event {
+	return s.Schedule(at-s.now, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling a nil, fired,
+// or already-cancelled event is a no-op, so callers do not need to track
+// timer state precisely.
+func (s *Simulator) Cancel(ev *Event) {
+	if ev == nil || ev.index < 0 {
+		return
+	}
+	heap.Remove(&s.queue, ev.index)
+}
+
+// Stop halts the currently executing Run after the current event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Run executes events in order until the queue drains, until the virtual
+// clock would pass until (events at exactly until still fire), or until
+// Stop is called. A non-positive until runs the queue to exhaustion.
+// It returns ErrStopped if halted by Stop.
+func (s *Simulator) Run(until time.Duration) error {
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		next := s.queue[0]
+		if until > 0 && next.at > until {
+			// Leave future events queued; advance the clock to the
+			// horizon so Now() reflects the full observation window.
+			s.now = until
+			return nil
+		}
+		heap.Pop(&s.queue)
+		s.now = next.at
+		s.fired++
+		next.fn()
+	}
+	if until > 0 && s.now < until {
+		s.now = until
+	}
+	return nil
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (s *Simulator) RunAll() error { return s.Run(0) }
+
+// Step executes exactly one event and reports whether one was available.
+func (s *Simulator) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&s.queue).(*Event)
+	s.now = next.at
+	s.fired++
+	next.fn()
+	return true
+}
+
+// String summarizes the simulator state, for debugging.
+func (s *Simulator) String() string {
+	return fmt.Sprintf("sim(now=%v pending=%d fired=%d)", s.now, len(s.queue), s.fired)
+}

@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// KSStatistic computes the one-sample Kolmogorov-Smirnov statistic D_n:
+// the largest deviation between the sample's empirical CDF and the given
+// theoretical CDF. Used to validate that the error model's holding times
+// really follow the distributions §3.1 of the paper specifies.
+func KSStatistic(sample []float64, cdf func(float64) float64) (float64, error) {
+	n := len(sample)
+	if n == 0 {
+		return 0, errors.New("stats: empty sample")
+	}
+	sorted := make([]float64, n)
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+	d := 0.0
+	for i, x := range sorted {
+		f := cdf(x)
+		// Deviations just before and just after the step at x.
+		lo := f - float64(i)/float64(n)
+		hi := float64(i+1)/float64(n) - f
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d, nil
+}
+
+// KSCriticalValue returns the approximate critical D for the given sample
+// size at significance alpha (two common levels supported): samples with
+// D below this are consistent with the hypothesized distribution. Uses
+// the asymptotic c(alpha)/sqrt(n) approximation, valid for n >= 35.
+func KSCriticalValue(n int, alpha float64) (float64, error) {
+	if n <= 0 {
+		return 0, errors.New("stats: non-positive sample size")
+	}
+	var c float64
+	switch {
+	case math.Abs(alpha-0.05) < 1e-9:
+		c = 1.358
+	case math.Abs(alpha-0.01) < 1e-9:
+		c = 1.628
+	default:
+		return 0, errors.New("stats: supported alpha levels are 0.05 and 0.01")
+	}
+	return c / math.Sqrt(float64(n)), nil
+}
+
+// ExponentialCDF returns the CDF of an exponential distribution with the
+// given mean, for use with KSStatistic.
+func ExponentialCDF(mean float64) func(float64) float64 {
+	return func(x float64) float64 {
+		if x <= 0 || mean <= 0 {
+			return 0
+		}
+		return -math.Expm1(-x / mean)
+	}
+}

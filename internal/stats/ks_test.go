@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"wtcp/internal/sim"
+)
+
+func TestKSStatisticRejectsEmpty(t *testing.T) {
+	if _, err := KSStatistic(nil, ExponentialCDF(1)); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestKSCriticalValue(t *testing.T) {
+	v, err := KSCriticalValue(100, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.1358) > 1e-4 {
+		t.Errorf("critical(100, .05) = %v", v)
+	}
+	if _, err := KSCriticalValue(0, 0.05); err == nil {
+		t.Error("zero n accepted")
+	}
+	if _, err := KSCriticalValue(100, 0.2); err == nil {
+		t.Error("unsupported alpha accepted")
+	}
+}
+
+func TestKSAcceptsMatchingExponential(t *testing.T) {
+	rng := sim.NewRNG(7)
+	const n = 2000
+	sample := make([]float64, n)
+	for i := range sample {
+		sample[i] = rng.Exp(3.0)
+	}
+	d, err := KSStatistic(sample, ExponentialCDF(3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, err := KSCriticalValue(n, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > crit {
+		t.Errorf("KS rejected matching exponential: D=%v > crit=%v", d, crit)
+	}
+}
+
+func TestKSRejectsWrongDistribution(t *testing.T) {
+	rng := sim.NewRNG(7)
+	const n = 2000
+	sample := make([]float64, n)
+	for i := range sample {
+		sample[i] = rng.Float64() * 6 // uniform(0,6), mean 3
+	}
+	d, err := KSStatistic(sample, ExponentialCDF(3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit, err := KSCriticalValue(n, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= crit {
+		t.Errorf("KS failed to reject uniform-vs-exponential: D=%v <= crit=%v", d, crit)
+	}
+}
+
+func TestExponentialCDFShape(t *testing.T) {
+	cdf := ExponentialCDF(2)
+	if cdf(-1) != 0 || cdf(0) != 0 {
+		t.Error("CDF not zero at origin")
+	}
+	if got := cdf(2); math.Abs(got-(1-math.Exp(-1))) > 1e-12 {
+		t.Errorf("cdf(mean) = %v", got)
+	}
+	if cdf(1e9) < 0.999999 {
+		t.Error("CDF does not approach 1")
+	}
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sampleOf(vs ...float64) *Sample {
+	s := &Sample{}
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+func TestEmptySampleSafe(t *testing.T) {
+	s := &Sample{}
+	if s.Mean() != 0 || s.StdDev() != 0 || s.RelStdDev() != 0 ||
+		s.CI95() != 0 || s.Min() != 0 || s.Max() != 0 || s.Median() != 0 || s.N() != 0 {
+		t.Error("empty sample should return zeros everywhere")
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	s := sampleOf(2, 4, 4, 4, 5, 5, 7, 9)
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample stddev with n-1: variance = 32/7.
+	want := math.Sqrt(32.0 / 7)
+	if got := s.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if got := s.RelStdDev(); math.Abs(got-want/5) > 1e-12 {
+		t.Errorf("RelStdDev = %v", got)
+	}
+}
+
+func TestSingleValueSample(t *testing.T) {
+	s := sampleOf(3.5)
+	if s.Mean() != 3.5 || s.StdDev() != 0 || s.CI95() != 0 {
+		t.Error("single-value sample stats wrong")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	s := sampleOf(9, 1, 5, 3, 7)
+	if s.Min() != 1 || s.Max() != 9 || s.Median() != 5 {
+		t.Errorf("min/max/median = %v/%v/%v", s.Min(), s.Max(), s.Median())
+	}
+	even := sampleOf(1, 2, 3, 4)
+	if even.Median() != 2.5 {
+		t.Errorf("even median = %v, want 2.5", even.Median())
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	small, big := &Sample{}, &Sample{}
+	for i := 0; i < 4; i++ {
+		small.Add(float64(i % 2))
+	}
+	for i := 0; i < 400; i++ {
+		big.Add(float64(i % 2))
+	}
+	if big.CI95() >= small.CI95() {
+		t.Errorf("CI95 did not shrink: %v -> %v", small.CI95(), big.CI95())
+	}
+}
+
+func TestValuesReturnsCopy(t *testing.T) {
+	s := sampleOf(1, 2, 3)
+	vs := s.Values()
+	vs[0] = 99
+	if s.Values()[0] != 1 {
+		t.Error("Values exposed internal storage")
+	}
+}
+
+func TestRunReplicationsDeterministicOrder(t *testing.T) {
+	s := RunReplications(8, func(seed int64) float64 { return float64(seed * seed) })
+	vs := s.Values()
+	if len(vs) != 8 {
+		t.Fatalf("N = %d", len(vs))
+	}
+	for i, v := range vs {
+		want := float64((i + 1) * (i + 1))
+		if v != want {
+			t.Errorf("value[%d] = %v, want %v (seed order)", i, v, want)
+		}
+	}
+}
+
+func TestRunReplicationsZeroN(t *testing.T) {
+	if RunReplications(0, func(int64) float64 { return 1 }).N() != 0 {
+		t.Error("zero replications should be empty")
+	}
+}
+
+// Property: mean is within [min, max] and stddev is non-negative.
+func TestPropertyMomentBounds(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := &Sample{}
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9 && s.StdDev() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package tcp
+
+import (
+	"testing"
+	"time"
+
+	"wtcp/internal/packet"
+	"wtcp/internal/units"
+)
+
+func TestSinkEchoesCongestionMark(t *testing.T) {
+	h := newSinkHarness(t, 4*units.KB)
+	h.sink.Receive(&packet.Packet{Kind: packet.Data, Seq: 0, Payload: 536, CongestionMarked: true})
+	if len(h.acks) != 1 {
+		t.Fatal("no ack")
+	}
+	if !h.acks[0].CongestionMarked {
+		t.Error("CE mark not echoed")
+	}
+	// The echo is one-shot: the next unmarked segment's ack is clean.
+	h.sink.Receive(data(536, 536))
+	if h.acks[1].CongestionMarked {
+		t.Error("echo persisted past one ack")
+	}
+}
+
+func TestSinkEchoSurvivesDelayedAcks(t *testing.T) {
+	h := newSinkHarness(t, 4*units.KB)
+	h.sink.EnableDelayedAcks(100 * time.Millisecond)
+	h.sink.Receive(&packet.Packet{Kind: packet.Data, Seq: 0, Payload: 536, CongestionMarked: true})
+	if err := h.s.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.acks) != 1 || !h.acks[0].CongestionMarked {
+		t.Error("delayed ack lost the CE echo")
+	}
+}
+
+func TestSenderHalvesOnECNEchoOncePerFlight(t *testing.T) {
+	cfg := wanConfig()
+	cfg.Total = 500 * units.KB
+	l := newLoop(t, cfg, 50*time.Millisecond)
+	l.snd.Start()
+	if err := l.s.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	cwndBefore := l.snd.Cwnd()
+	if cwndBefore <= 2*536 {
+		t.Fatalf("window did not open: %d", cwndBefore)
+	}
+	echo := &packet.Packet{Kind: packet.Ack, AckNo: l.snd.SndUna(), CongestionMarked: true}
+	l.snd.Receive(echo)
+	st := l.snd.Stats()
+	if st.ECNResponses != 1 {
+		t.Fatalf("ECNResponses = %d, want 1", st.ECNResponses)
+	}
+	if got := l.snd.Cwnd(); got >= cwndBefore {
+		t.Errorf("cwnd %d not reduced from %d", got, cwndBefore)
+	}
+	// A second echo within the same flight is ignored.
+	l.snd.Receive(&packet.Packet{Kind: packet.Ack, AckNo: l.snd.SndUna(), CongestionMarked: true})
+	if got := l.snd.Stats().ECNResponses; got != 1 {
+		t.Errorf("ECNResponses after same-flight echo = %d, want 1", got)
+	}
+	// Transfer still completes.
+	if err := l.s.Run(20 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if !l.snd.Done() {
+		t.Error("transfer did not complete after ECN responses")
+	}
+}
+
+func TestECNDoesNotTouchTimer(t *testing.T) {
+	cfg := wanConfig()
+	cfg.Total = 500 * units.KB
+	l := newLoop(t, cfg, 50*time.Millisecond)
+	l.snd.Start()
+	if err := l.s.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := l.snd.timer.Deadline()
+	// A pure window-halving echo arrives as a dupack (no ack advance);
+	// the retransmission timer must be untouched.
+	l.snd.Receive(&packet.Packet{Kind: packet.Ack, AckNo: l.snd.SndUna(), CongestionMarked: true})
+	if l.snd.timer.Deadline() != deadline {
+		t.Error("ECN echo moved the retransmission timer")
+	}
+}

@@ -1,0 +1,140 @@
+package tcp
+
+import "time"
+
+// RTOEstimator implements the BSD/Jacobson-Karels retransmission-timeout
+// machinery on a coarse-grained TCP clock. Round-trip times are measured
+// in clock ticks (the paper uses a 100 ms granularity, so RTTs are "known
+// to the nearest 100 msec"), smoothed with the SIGCOMM'88 estimator, and
+// backed off exponentially on consecutive losses per Karn's algorithm.
+type RTOEstimator struct {
+	granularity time.Duration
+	initial     time.Duration
+	minTicks    float64
+	maxRTO      time.Duration
+
+	srtt      float64 // smoothed RTT, in ticks
+	rttvar    float64 // mean deviation, in ticks
+	hasSample bool
+
+	// shift is the Karn backoff exponent: the effective RTO is the base
+	// value times 2^shift, capped at maxShift.
+	shift int
+
+	samples uint64
+}
+
+const (
+	// maxBackoffShift caps the exponential backoff at 2^6 = 64x, the BSD
+	// TCP_MAXRXTSHIFT-era bound.
+	maxBackoffShift = 6
+	// minRTOTicks is the BSD floor of two clock ticks.
+	minRTOTicks = 2
+)
+
+// Defaults matching the paper's setup and common BSD values.
+const (
+	DefaultGranularity = 100 * time.Millisecond
+	DefaultInitialRTO  = 3 * time.Second
+	DefaultMaxRTO      = 64 * time.Second
+)
+
+// NewRTOEstimator returns an estimator with the given clock granularity.
+// Non-positive arguments fall back to the defaults above.
+func NewRTOEstimator(granularity, initialRTO, maxRTO time.Duration) *RTOEstimator {
+	if granularity <= 0 {
+		granularity = DefaultGranularity
+	}
+	if initialRTO <= 0 {
+		initialRTO = DefaultInitialRTO
+	}
+	if maxRTO <= 0 {
+		maxRTO = DefaultMaxRTO
+	}
+	return &RTOEstimator{
+		granularity: granularity,
+		initial:     initialRTO,
+		minTicks:    minRTOTicks,
+		maxRTO:      maxRTO,
+	}
+}
+
+// Granularity reports the TCP clock tick length.
+func (e *RTOEstimator) Granularity() time.Duration { return e.granularity }
+
+// Ticks converts a duration to whole clock ticks (truncating), which is
+// how a coarse-clock TCP perceives elapsed time.
+func (e *RTOEstimator) Ticks(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return int(d / e.granularity)
+}
+
+// Sample feeds one round-trip measurement, in ticks, into the smoothed
+// estimator (Jacobson/Karels: gain 1/8 on srtt, 1/4 on rttvar). Sampling
+// also resets the Karn backoff: the measurement proves a fresh,
+// non-retransmitted segment was acknowledged.
+func (e *RTOEstimator) Sample(ticks int) {
+	m := float64(ticks)
+	if !e.hasSample {
+		e.srtt = m
+		e.rttvar = m / 2
+		e.hasSample = true
+	} else {
+		err := m - e.srtt
+		e.srtt += err / 8
+		if err < 0 {
+			err = -err
+		}
+		e.rttvar += (err - e.rttvar) / 4
+	}
+	e.samples++
+	e.shift = 0
+}
+
+// base returns the un-backed-off timeout.
+func (e *RTOEstimator) base() time.Duration {
+	if !e.hasSample {
+		return e.initial
+	}
+	ticks := e.srtt + 4*e.rttvar
+	if ticks < e.minTicks {
+		ticks = e.minTicks
+	}
+	return time.Duration(ticks * float64(e.granularity))
+}
+
+// RTO reports the current retransmission timeout: the smoothed base value
+// times the Karn backoff, clamped to the ceiling.
+func (e *RTOEstimator) RTO() time.Duration {
+	rto := e.base() << e.shift
+	if rto > e.maxRTO {
+		rto = e.maxRTO
+	}
+	return rto
+}
+
+// Backoff doubles the timeout for the next retransmission (up to the 64x
+// cap), as TCP does on each consecutive loss of the same segment.
+func (e *RTOEstimator) Backoff() {
+	if e.shift < maxBackoffShift {
+		e.shift++
+	}
+}
+
+// BackoffShift reports the current backoff exponent (0 = no backoff).
+func (e *RTOEstimator) BackoffShift() int { return e.shift }
+
+// SRTT reports the smoothed round-trip time (zero before any sample).
+func (e *RTOEstimator) SRTT() time.Duration {
+	return time.Duration(e.srtt * float64(e.granularity))
+}
+
+// RTTVar reports the smoothed mean deviation.
+func (e *RTOEstimator) RTTVar() time.Duration {
+	return time.Duration(e.rttvar * float64(e.granularity))
+}
+
+// Samples reports how many RTT measurements have been taken.
+func (e *RTOEstimator) Samples() uint64 { return e.samples }

@@ -1,0 +1,181 @@
+// Package tcp implements the transport endpoints of the study: a TCP-Tahoe
+// bulk-data sender (slow start, congestion avoidance, fast retransmit,
+// coarse-clock Jacobson/Karels RTT estimation, Karn backoff) and a
+// cumulative-ACK sink, plus a Reno variant used as an ablation.
+//
+// The sender also implements the paper's two control-message responses:
+//
+//   - EBSN (Explicit Bad State Notification): re-arm the retransmission
+//     timer with the *current* timeout value, leaving the RTT estimate and
+//     backoff untouched — the appendix's set_rtx_timer() call.
+//   - ICMP source quench: collapse the congestion window to one segment
+//     without touching the timer (RFC 1122 §4.2.3.9 behaviour), the
+//     comparator the paper shows does not prevent timeouts.
+//
+// The implementation is segment-based with byte windows, mirroring the ns
+// Tahoe module the paper used: on a timeout or third duplicate ACK the
+// sender sets snd_nxt back to snd_una and slow-starts (go-back-N driven by
+// cumulative ACKs).
+package tcp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"wtcp/internal/units"
+)
+
+// Variant selects the congestion-control flavour.
+type Variant int
+
+// Variants.
+const (
+	// Tahoe is the paper's TCP: loss (timeout or 3 dupacks) collapses
+	// cwnd to one segment and re-enters slow start.
+	Tahoe Variant = iota + 1
+	// Reno adds fast recovery (cwnd halving with window inflation on
+	// duplicate ACKs). Not used in the paper's experiments; provided as
+	// an ablation.
+	Reno
+	// NewReno extends Reno with partial-ACK handling: a new ACK that does
+	// not cover the whole pre-loss window retransmits the next missing
+	// segment immediately instead of leaving fast recovery, repairing
+	// multi-loss windows without timeouts.
+	NewReno
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case Tahoe:
+		return "tahoe"
+	case Reno:
+		return "reno"
+	case NewReno:
+		return "newreno"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// DupAckThreshold is the fast-retransmit trigger (three duplicate ACKs).
+const DupAckThreshold = 3
+
+// Config parameterizes a sender.
+type Config struct {
+	// MSS is the TCP payload per segment: the paper's "packet size" minus
+	// the 40-byte header.
+	MSS units.ByteSize
+	// Window is the receiver's advertised window (4 KB in the paper's WAN
+	// runs, 64 KB in the LAN runs). The send window is min(cwnd, Window).
+	Window units.ByteSize
+	// Total is the number of payload bytes to transfer (100 KB WAN, 4 MB
+	// LAN).
+	Total units.ByteSize
+	// Granularity is the TCP clock tick (100 ms in the paper).
+	Granularity time.Duration
+	// InitialRTO is the timeout before any RTT sample exists.
+	InitialRTO time.Duration
+	// MaxRTO caps the backed-off timeout.
+	MaxRTO time.Duration
+	// Variant selects Tahoe (default) or Reno.
+	Variant Variant
+	// InitialCwnd is the starting congestion window in segments
+	// (default 1).
+	InitialCwnd int
+	// Streaming makes the sender start with no data available; a relay
+	// (e.g. the split-connection base station) grants bytes with
+	// MakeAvailable as they arrive from upstream. When false the whole
+	// transfer is available immediately.
+	Streaming bool
+	// SACK enables the selective-acknowledgment scoreboard: go-back-N
+	// retransmission passes skip byte ranges the receiver has already
+	// acknowledged selectively. Pair with Sink.EnableSACK. An ablation —
+	// the paper's TCP predates SACK.
+	SACK bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	switch {
+	case c.MSS <= 0:
+		return errors.New("tcp: MSS must be positive")
+	case c.Window < c.MSS:
+		return errors.New("tcp: window smaller than one segment")
+	case c.Total <= 0:
+		return errors.New("tcp: nothing to send")
+	default:
+		return nil
+	}
+}
+
+// withDefaults fills unset optional fields.
+func (c Config) withDefaults() Config {
+	if c.Granularity <= 0 {
+		c.Granularity = DefaultGranularity
+	}
+	if c.InitialRTO <= 0 {
+		c.InitialRTO = DefaultInitialRTO
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = DefaultMaxRTO
+	}
+	if c.Variant == 0 {
+		c.Variant = Tahoe
+	}
+	if c.InitialCwnd <= 0 {
+		c.InitialCwnd = 1
+	}
+	return c
+}
+
+// Stats accumulates sender-side counters for the paper's metrics.
+type Stats struct {
+	// SegmentsSent counts every Data segment handed to the network,
+	// including retransmissions.
+	SegmentsSent uint64
+	// BytesSent counts network-layer bytes sent (payload + header),
+	// including retransmissions — the denominator of goodput.
+	BytesSent units.ByteSize
+	// RetransSegments and RetransBytes count retransmissions only
+	// (RetransBytes is the paper's "data retransmitted" series, network-
+	// layer bytes).
+	RetransSegments uint64
+	RetransBytes    units.ByteSize
+	// Timeouts counts retransmission-timer expiries.
+	Timeouts uint64
+	// FastRetransmits counts third-dupack triggers.
+	FastRetransmits uint64
+	// EBSNResets counts timer re-arms caused by EBSN messages.
+	EBSNResets uint64
+	// Quenches counts ICMP source-quench messages processed.
+	Quenches uint64
+	// ECNResponses counts window halvings triggered by ECN echoes.
+	ECNResponses uint64
+	// SACKSkippedSegments counts retransmissions avoided because the
+	// scoreboard showed the receiver already held the data.
+	SACKSkippedSegments uint64
+	// AcksReceived and DupAcksReceived count inbound ACK processing.
+	AcksReceived    uint64
+	DupAcksReceived uint64
+}
+
+// Hooks are optional observation points; any field may be nil. They exist
+// for the tracer and for tests, and must not mutate sender state.
+type Hooks struct {
+	// OnSend fires for every segment handed to the network.
+	OnSend func(seq int64, payload units.ByteSize, retransmit bool)
+	// OnTimeout fires when the retransmission timer expires, with the
+	// about-to-be-retransmitted sequence number.
+	OnTimeout func(seq int64)
+	// OnFastRetransmit fires on the third duplicate ACK.
+	OnFastRetransmit func(seq int64)
+	// OnEBSN fires when an EBSN re-arms the timer.
+	OnEBSN func()
+	// OnCwnd fires whenever the congestion window or threshold changes
+	// (growth, collapse, recovery), for window-evolution traces.
+	OnCwnd func(cwnd, ssthresh units.ByteSize)
+	// OnComplete fires once when the last byte is acknowledged.
+	OnComplete func(at time.Duration)
+}

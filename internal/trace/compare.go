@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RenderComparison draws two traces side by side on a shared time axis —
+// the visual argument of Figures 3 vs 5: the left panel's stalls and
+// retransmission marks against the right panel's uninterrupted staircase.
+func RenderComparison(leftTitle string, left *Trace, rightTitle string, right *Trace,
+	panelWidth, height int, horizon time.Duration) string {
+	if panelWidth < 20 {
+		panelWidth = 20
+	}
+	if height < 10 {
+		height = 10
+	}
+	lp := panelLines(left, panelWidth, height, horizon)
+	rp := panelLines(right, panelWidth, height, horizon)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-*s   %s\n", panelWidth+1, clip(leftTitle, panelWidth), clip(rightTitle, panelWidth))
+	for i := range lp {
+		fmt.Fprintf(&b, "%s   %s\n", lp[i], rp[i])
+	}
+	axis := "+" + strings.Repeat("-", panelWidth)
+	fmt.Fprintf(&b, "%s   %s\n", axis, axis)
+	label := fmt.Sprintf(" 0%*s", panelWidth-1, fmt.Sprintf("%.0fs", horizon.Seconds()))
+	fmt.Fprintf(&b, "%s   %s\n", label, label)
+	b.WriteString("'.' send   'o' source retransmission   (packet number mod 90, bottom-up)\n")
+	return b.String()
+}
+
+// panelLines renders one trace's scatter rows (no axes).
+func panelLines(tr *Trace, width, height int, horizon time.Duration) []string {
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	if tr != nil {
+		for _, e := range tr.Events() {
+			if e.Kind != Send && e.Kind != Retransmit {
+				continue
+			}
+			if horizon > 0 && e.At > horizon {
+				continue
+			}
+			x := int(float64(width-1) * float64(e.At) / float64(horizon))
+			y := int(float64(height-1) * float64(e.PacketNo%PacketModulo) / float64(PacketModulo-1))
+			row := height - 1 - y
+			mark := byte('.')
+			if e.Kind == Retransmit {
+				mark = 'o'
+			}
+			if grid[row][x] == ' ' || mark == 'o' {
+				grid[row][x] = mark
+			}
+		}
+	}
+	out := make([]string, height)
+	for i, row := range grid {
+		out[i] = "|" + string(row)
+	}
+	return out
+}
+
+// clip truncates a title to the panel width.
+func clip(s string, w int) string {
+	if len(s) <= w {
+		return s
+	}
+	return s[:w]
+}

@@ -1,0 +1,205 @@
+// Package trace records the per-packet connection history the paper's
+// Figures 3-5 visualize: every segment transmission plotted as (send time,
+// packet number mod 90), with retransmissions appearing as repeated marks
+// on the same horizontal line.
+//
+// The package renders the same data two ways: a CSV suitable for any
+// plotting tool, and an ASCII scatter for terminal inspection.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wtcp/internal/tcp"
+	"wtcp/internal/units"
+)
+
+// EventKind discriminates trace events.
+type EventKind int
+
+// Event kinds.
+const (
+	// Send is an original segment transmission.
+	Send EventKind = iota + 1
+	// Retransmit is a source retransmission of previously sent data.
+	Retransmit
+	// Timeout is a retransmission-timer expiry at the source.
+	Timeout
+	// FastRetx is a third-duplicate-ACK fast retransmit trigger.
+	FastRetx
+	// EBSNReset is a timer re-arm caused by an EBSN.
+	EBSNReset
+)
+
+// String names the kind for CSV output.
+func (k EventKind) String() string {
+	switch k {
+	case Send:
+		return "send"
+	case Retransmit:
+		return "retransmit"
+	case Timeout:
+		return "timeout"
+	case FastRetx:
+		return "fastretx"
+	case EBSNReset:
+		return "ebsn"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// PacketModulo is the paper's vertical-axis wraparound ("packet number mod
+// 90").
+const PacketModulo = 90
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	// Seq is the first byte offset of the segment involved (zero for
+	// EBSN resets).
+	Seq int64
+	// PacketNo is Seq divided by the MSS — the paper's packet number.
+	PacketNo int64
+}
+
+// Trace accumulates events for one connection.
+type Trace struct {
+	mss    units.ByteSize
+	events []Event
+}
+
+// New returns an empty trace for a connection with the given MSS (used to
+// convert byte offsets into packet numbers).
+func New(mss units.ByteSize) *Trace {
+	if mss <= 0 {
+		mss = 1
+	}
+	return &Trace{mss: mss}
+}
+
+// packetNo converts a byte offset to the paper's packet number.
+func (tr *Trace) packetNo(seq int64) int64 { return seq / int64(tr.mss) }
+
+// Record appends an event.
+func (tr *Trace) Record(at time.Duration, kind EventKind, seq int64) {
+	tr.events = append(tr.events, Event{At: at, Kind: kind, Seq: seq, PacketNo: tr.packetNo(seq)})
+}
+
+// Hooks returns sender hooks that feed this trace. now must report the
+// simulation clock.
+func (tr *Trace) Hooks(now func() time.Duration) tcp.Hooks {
+	return tcp.Hooks{
+		OnSend: func(seq int64, _ units.ByteSize, retx bool) {
+			kind := Send
+			if retx {
+				kind = Retransmit
+			}
+			tr.Record(now(), kind, seq)
+		},
+		OnTimeout:        func(seq int64) { tr.Record(now(), Timeout, seq) },
+		OnFastRetransmit: func(seq int64) { tr.Record(now(), FastRetx, seq) },
+		OnEBSN:           func() { tr.Record(now(), EBSNReset, 0) },
+	}
+}
+
+// Events returns the recorded events in order.
+func (tr *Trace) Events() []Event {
+	out := make([]Event, len(tr.events))
+	copy(out, tr.events)
+	return out
+}
+
+// Count reports how many events of the given kind were recorded.
+func (tr *Trace) Count(kind EventKind) int {
+	n := 0
+	for _, e := range tr.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// SendsOf reports how many times the given packet number was put on the
+// wire (1 = never retransmitted by the source).
+func (tr *Trace) SendsOf(packetNo int64) int {
+	n := 0
+	for _, e := range tr.events {
+		if (e.Kind == Send || e.Kind == Retransmit) && e.PacketNo == packetNo {
+			n++
+		}
+	}
+	return n
+}
+
+// CSV renders the send/retransmit events as the paper's scatter data:
+// time_sec,packet_mod_90,kind — one row per transmission.
+func (tr *Trace) CSV() string {
+	var b strings.Builder
+	b.WriteString("time_sec,packet_mod_90,kind\n")
+	for _, e := range tr.events {
+		if e.Kind != Send && e.Kind != Retransmit {
+			continue
+		}
+		fmt.Fprintf(&b, "%.3f,%d,%s\n", e.At.Seconds(), e.PacketNo%PacketModulo, e.Kind)
+	}
+	return b.String()
+}
+
+// RenderASCII draws the scatter on a width x height character grid
+// covering [0, horizon] seconds by [0, 90) packet numbers. Original sends
+// draw '.', retransmissions 'o', and the x-axis is labeled in seconds.
+func (tr *Trace) RenderASCII(width, height int, horizon time.Duration) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 10 {
+		height = 10
+	}
+	if horizon <= 0 {
+		horizon = time.Second
+		for _, e := range tr.events {
+			if e.At > horizon {
+				horizon = e.At
+			}
+		}
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, e := range tr.events {
+		if e.Kind != Send && e.Kind != Retransmit {
+			continue
+		}
+		if e.At > horizon {
+			continue
+		}
+		x := int(float64(width-1) * float64(e.At) / float64(horizon))
+		y := int(float64(height-1) * float64(e.PacketNo%PacketModulo) / float64(PacketModulo-1))
+		row := height - 1 - y // origin bottom-left, like the paper
+		mark := byte('.')
+		if e.Kind == Retransmit {
+			mark = 'o'
+		}
+		// Retransmission marks win over plain sends at the same cell.
+		if grid[row][x] == ' ' || mark == 'o' {
+			grid[row][x] = mark
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "packet number mod %d (top=%d)  '.' send  'o' source retransmission\n",
+		PacketModulo, PacketModulo-1)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "\n")
+	fmt.Fprintf(&b, " 0%*s\n", width-1, fmt.Sprintf("%.0fs", horizon.Seconds()))
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wtcp/internal/units"
+)
+
+func TestRecordAndPacketNumbers(t *testing.T) {
+	tr := New(536)
+	tr.Record(time.Second, Send, 0)
+	tr.Record(2*time.Second, Send, 536)
+	tr.Record(3*time.Second, Retransmit, 536)
+	tr.Record(4*time.Second, Timeout, 536)
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[1].PacketNo != 1 || evs[2].PacketNo != 1 {
+		t.Errorf("packet numbers = %d, %d, want 1, 1", evs[1].PacketNo, evs[2].PacketNo)
+	}
+	if tr.Count(Send) != 2 || tr.Count(Retransmit) != 1 || tr.Count(Timeout) != 1 {
+		t.Error("counts wrong")
+	}
+	if tr.SendsOf(1) != 2 {
+		t.Errorf("SendsOf(1) = %d, want 2 (send + retransmit)", tr.SendsOf(1))
+	}
+	if tr.SendsOf(0) != 1 {
+		t.Errorf("SendsOf(0) = %d, want 1", tr.SendsOf(0))
+	}
+}
+
+func TestHooksFeedTrace(t *testing.T) {
+	tr := New(536)
+	now := time.Duration(0)
+	h := tr.Hooks(func() time.Duration { return now })
+	now = time.Second
+	h.OnSend(0, 536, false)
+	now = 2 * time.Second
+	h.OnSend(0, 536, true)
+	h.OnTimeout(0)
+	h.OnFastRetransmit(536)
+	h.OnEBSN()
+	if tr.Count(Send) != 1 || tr.Count(Retransmit) != 1 ||
+		tr.Count(Timeout) != 1 || tr.Count(FastRetx) != 1 || tr.Count(EBSNReset) != 1 {
+		t.Errorf("hook-fed counts wrong: %+v", tr.Events())
+	}
+	if tr.Events()[0].At != time.Second {
+		t.Error("hook did not use the clock callback")
+	}
+}
+
+func TestCSVFormat(t *testing.T) {
+	tr := New(100)
+	tr.Record(1500*time.Millisecond, Send, 0)
+	tr.Record(2*time.Second, Retransmit, 100*95) // packet 95 -> mod 90 = 5
+	tr.Record(3*time.Second, Timeout, 0)         // not a transmission: excluded
+	csv := tr.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want header + 2", len(lines))
+	}
+	if lines[0] != "time_sec,packet_mod_90,kind" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1.500,0,send" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[2] != "2.000,5,retransmit" {
+		t.Errorf("row 2 = %q (mod-90 wraparound)", lines[2])
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	tr := New(100)
+	tr.Record(0, Send, 0)
+	tr.Record(30*time.Second, Send, 100*89)  // top-right area
+	tr.Record(15*time.Second, Retransmit, 0) // bottom middle
+	out := tr.RenderASCII(60, 20, 30*time.Second)
+	if !strings.Contains(out, ".") {
+		t.Error("no send marks rendered")
+	}
+	if !strings.Contains(out, "o") {
+		t.Error("no retransmission marks rendered")
+	}
+	if !strings.Contains(out, "30s") {
+		t.Error("x-axis label missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 20 {
+		t.Errorf("grid height = %d lines", len(lines))
+	}
+	// Retransmission at 15s packet 0 must be on the bottom row of the grid.
+	bottom := lines[len(lines)-4] // last grid row before axis
+	if !strings.Contains(bottom, "o") {
+		t.Errorf("retransmit mark not on bottom row: %q", bottom)
+	}
+}
+
+func TestRenderASCIIDefaults(t *testing.T) {
+	tr := New(100)
+	tr.Record(5*time.Second, Send, 0)
+	// Degenerate sizes clamp; zero horizon auto-scales.
+	out := tr.RenderASCII(1, 1, 0)
+	if out == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	names := map[EventKind]string{
+		Send: "send", Retransmit: "retransmit", Timeout: "timeout",
+		FastRetx: "fastretx", EBSNReset: "ebsn",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if EventKind(77).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestNewClampsBadMSS(t *testing.T) {
+	tr := New(0)
+	tr.Record(0, Send, 1234)
+	if tr.Events()[0].PacketNo != 1234 {
+		t.Error("zero MSS should fall back to 1")
+	}
+	_ = units.ByteSize(0)
+}
