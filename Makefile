@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench figures traces report fuzz clean
+.PHONY: all build vet test test-race check bench figures traces report fuzz clean
 
 all: build vet test
+
+# Pre-PR gate: static analysis plus the full suite under the race
+# detector (the simulator is single-threaded by design; -race proves it).
+check: vet test-race
 
 build:
 	$(GO) build ./...
@@ -37,6 +41,8 @@ report:
 fuzz:
 	$(GO) test -fuzz=FuzzReassembler -fuzztime=30s ./internal/ip
 	$(GO) test -fuzz=FuzzSenderAckStream -fuzztime=30s ./internal/tcp
+	$(GO) test -fuzz=FuzzScenario -fuzztime=30s ./cmd/wtcp-sim
+	$(GO) test -fuzz=FuzzChaosParse -fuzztime=30s ./internal/chaos
 
 clean:
 	$(GO) clean ./...

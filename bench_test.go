@@ -84,7 +84,10 @@ func BenchmarkFig5Trace(b *testing.B) {
 func BenchmarkFig7(b *testing.B) {
 	var best float64
 	for i := 0; i < b.N; i++ {
-		points := experiment.Fig7(benchOpts())
+		points, err := experiment.Fig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		_, best = experiment.OptimalPacketSize(points, time.Second)
 	}
 	b.ReportMetric(best, "kbps@bad=1s")
@@ -95,7 +98,10 @@ func BenchmarkFig7(b *testing.B) {
 func BenchmarkFig8(b *testing.B) {
 	var tput float64
 	for i := 0; i < b.N; i++ {
-		points := experiment.Fig8(benchOpts())
+		points, err := experiment.Fig8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, p := range points {
 			if p.BadPeriod == 4*time.Second && p.PacketSize == 1536 {
 				tput = p.ThroughputKbps.Mean()
@@ -110,7 +116,10 @@ func BenchmarkFig8(b *testing.B) {
 func BenchmarkFig9(b *testing.B) {
 	var gap float64
 	for i := 0; i < b.N; i++ {
-		points := experiment.Fig9(benchOpts())
+		points, err := experiment.Fig9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
 		var basicKB, ebsnKB float64
 		for _, p := range points {
 			if p.BadPeriod == 4*time.Second && p.PacketSize == 1536 {
@@ -132,11 +141,14 @@ func BenchmarkFig9(b *testing.B) {
 func BenchmarkFig10(b *testing.B) {
 	var improvement float64
 	for i := 0; i < b.N; i++ {
-		points := experiment.LANStudy(experiment.Options{
+		points, err := experiment.LANStudy(experiment.Options{
 			Replications: 2,
 			Transfer:     units.MB,
 			BadPeriods:   []time.Duration{800 * time.Millisecond},
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		var basicM, ebsnM float64
 		for _, p := range points {
 			switch p.Scheme {
@@ -156,11 +168,14 @@ func BenchmarkFig10(b *testing.B) {
 func BenchmarkFig11(b *testing.B) {
 	var basicKB float64
 	for i := 0; i < b.N; i++ {
-		points := experiment.LANStudy(experiment.Options{
+		points, err := experiment.LANStudy(experiment.Options{
 			Replications: 2,
 			Transfer:     units.MB,
 			BadPeriods:   []time.Duration{800 * time.Millisecond},
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, p := range points {
 			if p.Scheme == bs.Basic {
 				basicKB = p.RetransKB.Mean()

@@ -96,7 +96,10 @@ func run(args []string) error {
 
 	if want("7") {
 		did = true
-		points := experiment.Fig7(opt)
+		points, err := experiment.Fig7(opt)
+		if err != nil {
+			return err
+		}
 		if err := writeFile("fig7.csv", experiment.ThroughputCSV(points)); err != nil {
 			return err
 		}
@@ -106,7 +109,10 @@ func run(args []string) error {
 	}
 	if want("8") {
 		did = true
-		points := experiment.Fig8(opt)
+		points, err := experiment.Fig8(opt)
+		if err != nil {
+			return err
+		}
 		if err := writeFile("fig8.csv", experiment.ThroughputCSV(points)); err != nil {
 			return err
 		}
@@ -116,7 +122,10 @@ func run(args []string) error {
 	}
 	if want("9") {
 		did = true
-		points := experiment.Fig9(opt)
+		points, err := experiment.Fig9(opt)
+		if err != nil {
+			return err
+		}
 		if err := writeFile("fig9.csv", experiment.RetransCSV(points)); err != nil {
 			return err
 		}
@@ -126,7 +135,10 @@ func run(args []string) error {
 	}
 	if want("10", "11") {
 		did = true
-		points := experiment.LANStudy(opt)
+		points, err := experiment.LANStudy(opt)
+		if err != nil {
+			return err
+		}
 		if err := writeFile("fig10_11.csv", experiment.LANCSV(points)); err != nil {
 			return err
 		}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScenario throws arbitrary bytes at the scenario parser. The
+// contract under fuzzing: parseScenario never panics, and any scenario
+// it accepts is fully runnable (the returned config passes validation,
+// which build already enforces — so acceptance with a broken config is
+// a bug, not a user error).
+func FuzzScenario(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"preset":"wan","scheme":"ebsn","packet_size_bytes":1536,"mean_bad":"4s","transfer_kb":100,"seed":7}`,
+		`{"preset":"lan","scheme":"snoop","mean_bad":"800ms","sack":true,"delayed_acks":true}`,
+		`{"scheme":"localrecovery","variant":"newreno","window_kb":8,"cross_traffic_pct":30,"ecn":true}`,
+		`{"scheme":"sourcequench","notify_every":2,"deterministic":true,"collect_trace":true}`,
+		`{"mtu_bytes":-1,"wired_kbps":128,"wireless_kbps":1000,"horizon":"10m"}`,
+		`{"checks":true,"stall":"2m","seed":3}`,
+		`{"scheme":"ebsn","checks":true,"stall":"off","chaos":{
+			"blackouts":[{"link":"wireless-down","at":"5s","length":"3s"}],
+			"storms":[{"link":"wired-fwd","at":"10s","length":"2s","loss_prob":0.3}],
+			"crashes":[{"at":"20s","downtime":"2s"}],
+			"notify":{"loss_prob":0.5,"dup_prob":0.1,"delay_prob":0.2,"delay":"300ms"},
+			"packets":[{"link":"wireless-up","corrupt_prob":0.01,"dup_prob":0.01,"reorder_prob":0.02,"reorder_delay":"50ms"}]}}`,
+		`{"packet_size_bytes":10}`,
+		`{"chaos":{"blackouts":[{"link":"nope","at":"1s","length":"1s"}]}}`,
+		`{"chaos":null}`,
+		`{"bogus":1}`,
+		`{`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := parseScenario(data)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Errorf("parseScenario accepted a config that fails validation: %v\ninput: %s", verr, data)
+		}
+	})
+}
+
+// TestFuzzSeedsClassify pins the fuzz seed corpus' accept/reject split
+// so a parser regression shows up as a plain test failure even when the
+// fuzzer is not run.
+func TestFuzzSeedsClassify(t *testing.T) {
+	accept := []string{
+		`{}`,
+		`{"preset":"wan","scheme":"ebsn","packet_size_bytes":1536,"mean_bad":"4s","transfer_kb":100,"seed":7}`,
+		`{"scheme":"ebsn","checks":true,"chaos":{"crashes":[{"at":"20s","downtime":"2s"}]}}`,
+		`{"chaos":null}`,
+	}
+	reject := []string{
+		`{"packet_size_bytes":10}`,
+		`{"chaos":{"blackouts":[{"link":"nope","at":"1s","length":"1s"}]}}`,
+		`{"bogus":1}`,
+		`{`,
+	}
+	for _, s := range accept {
+		if _, err := parseScenario([]byte(s)); err != nil {
+			t.Errorf("valid scenario rejected: %v\ninput: %s", err, s)
+		}
+	}
+	for _, s := range reject {
+		if _, err := parseScenario([]byte(s)); err == nil {
+			t.Errorf("invalid scenario accepted: %s", s)
+		} else if strings.Contains(err.Error(), "panic") {
+			t.Errorf("error leaks a panic: %v", err)
+		}
+	}
+}

@@ -41,6 +41,7 @@ func run(args []string) error {
 		verbose    = fs.Bool("v", false, "print per-component counters")
 		configPath = fs.String("config", "", "JSON scenario file (overrides the scenario flags)")
 		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON results")
+		checks     = fs.Bool("checks", false, "enable runtime invariant checking (also arms the no-progress watchdog)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,24 +62,27 @@ func run(args []string) error {
 	}
 
 	build := func(seed int64) core.Config {
-		if fromFile != nil {
-			cfg := *fromFile
-			cfg.Seed = cfg.Seed + seed - fromFile.Seed // offset for replications
-			return cfg
-		}
 		var cfg core.Config
-		if *lan {
-			cfg = core.LAN(scheme, *bad)
+		if fromFile != nil {
+			cfg = *fromFile
+			cfg.Seed = cfg.Seed + seed - fromFile.Seed // offset for replications
 		} else {
-			cfg = core.WAN(scheme, units.ByteSize(*packet), *bad)
+			if *lan {
+				cfg = core.LAN(scheme, *bad)
+			} else {
+				cfg = core.WAN(scheme, units.ByteSize(*packet), *bad)
+			}
+			if *good > 0 {
+				cfg.Channel.MeanGood = *good
+			}
+			if *transfer > 0 {
+				cfg.TransferSize = units.ByteSize(*transfer) * units.KB
+			}
+			cfg.Seed = seed
 		}
-		if *good > 0 {
-			cfg.Channel.MeanGood = *good
+		if *checks {
+			cfg.Checks = true
 		}
-		if *transfer > 0 {
-			cfg.TransferSize = units.ByteSize(*transfer) * units.KB
-		}
-		cfg.Seed = seed
 		return cfg
 	}
 
@@ -94,10 +98,17 @@ func run(args []string) error {
 
 	var tput, goodput, retrans, timeouts stats.Sample
 	var last *core.Result
+	aborted := 0
 	for i := 0; i < *reps; i++ {
 		r, err := core.Run(build(*seed + int64(i)))
 		if err != nil {
 			return err
+		}
+		if r.Aborted {
+			aborted++
+			fmt.Fprintf(os.Stderr, "rep %d: %s\n", i+1, r.AbortReason)
+			last = r
+			continue
 		}
 		if !r.Completed {
 			fmt.Printf("rep %d: transfer did not complete within the horizon\n", i+1)
@@ -110,7 +121,13 @@ func run(args []string) error {
 		last = r
 	}
 	if tput.N() == 0 {
+		if aborted > 0 {
+			return fmt.Errorf("every replication was aborted by the watchdog (%d of %d); the scenario's faults leave the transfer no way to finish", aborted, *reps)
+		}
 		return fmt.Errorf("no replication completed")
+	}
+	if aborted > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d replications aborted by the watchdog; summary covers the rest\n", aborted, *reps)
 	}
 	if *jsonOut {
 		return emitJSON(cfg, &tput, &goodput, &retrans, &timeouts, last)
@@ -128,6 +145,9 @@ func run(args []string) error {
 		fmt.Printf("  mobile:   %+v\n", last.Mobile)
 		fmt.Printf("  downlink: %+v\n", last.WirelessDown)
 		fmt.Printf("  uplink:   %+v\n", last.WirelessUp)
+		if last.Chaos != nil {
+			fmt.Printf("  chaos:    %+v\n", *last.Chaos)
+		}
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"wtcp/internal/bs"
+	"wtcp/internal/chaos"
 	"wtcp/internal/core"
 	"wtcp/internal/tcp"
 	"wtcp/internal/units"
@@ -24,25 +25,43 @@ import (
 //	  "mean_bad": "4s",
 //	  "transfer_kb": 100,
 //	  "sack": true,
-//	  "seed": 7
+//	  "seed": 7,
+//	  "checks": true,
+//	  "chaos": {
+//	    "blackouts": [{"link": "wireless-down", "at": "5s", "length": "3s"}],
+//	    "crashes":   [{"at": "20s", "downtime": "2s"}],
+//	    "notify":    {"loss_prob": 0.5}
+//	  }
 //	}
 type scenarioFile struct {
-	Preset          string `json:"preset"` // "wan" (default) or "lan"
-	Scheme          string `json:"scheme"`
-	PacketSizeBytes int    `json:"packet_size_bytes"`
-	TransferKB      int64  `json:"transfer_kb"`
-	WindowKB        int    `json:"window_kb"`
-	MeanGood        string `json:"mean_good"`
-	MeanBad         string `json:"mean_bad"`
-	Deterministic   bool   `json:"deterministic"`
-	Variant         string `json:"variant"` // tahoe (default), reno, newreno
-	DelayedAcks     bool   `json:"delayed_acks"`
-	SACK            bool   `json:"sack"`
-	ECN             bool   `json:"ecn"`
-	NotifyEvery     int    `json:"notify_every"`
-	CrossTrafficPct int    `json:"cross_traffic_pct"` // % of wired capacity
-	Seed            int64  `json:"seed"`
-	CollectTrace    bool   `json:"collect_trace"`
+	Preset          string  `json:"preset"` // "wan" (default) or "lan"
+	Scheme          string  `json:"scheme"`
+	PacketSizeBytes int     `json:"packet_size_bytes"`
+	TransferKB      int64   `json:"transfer_kb"`
+	WindowKB        int     `json:"window_kb"`
+	MTUBytes        int     `json:"mtu_bytes"` // wireless fragmentation threshold (-1 disables)
+	WiredKbps       float64 `json:"wired_kbps"`
+	WirelessKbps    float64 `json:"wireless_kbps"`
+	MeanGood        string  `json:"mean_good"`
+	MeanBad         string  `json:"mean_bad"`
+	Deterministic   bool    `json:"deterministic"`
+	Variant         string  `json:"variant"` // tahoe (default), reno, newreno
+	DelayedAcks     bool    `json:"delayed_acks"`
+	SACK            bool    `json:"sack"`
+	ECN             bool    `json:"ecn"`
+	NotifyEvery     int     `json:"notify_every"`
+	CrossTrafficPct int     `json:"cross_traffic_pct"` // % of wired capacity
+	Seed            int64   `json:"seed"`
+	CollectTrace    bool    `json:"collect_trace"`
+	Horizon         string  `json:"horizon"` // virtual-time cap ("10m")
+
+	// Robustness knobs: Chaos holds an inline fault-injection plan (see
+	// internal/chaos for the schema), Checks enables runtime invariant
+	// checking, and Stall tunes the no-progress watchdog window ("5m";
+	// "off" disables it).
+	Chaos  json.RawMessage `json:"chaos"`
+	Checks bool            `json:"checks"`
+	Stall  string          `json:"stall"`
 }
 
 // loadScenario reads and validates a JSON scenario into a runnable
@@ -52,17 +71,73 @@ func loadScenario(path string) (core.Config, error) {
 	if err != nil {
 		return core.Config{}, fmt.Errorf("read scenario: %w", err)
 	}
+	cfg, err := parseScenario(raw)
+	if err != nil {
+		return core.Config{}, fmt.Errorf("scenario %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// parseScenario decodes and validates scenario JSON. Unknown fields are
+// rejected so a typoed knob fails loudly instead of being ignored.
+func parseScenario(raw []byte) (core.Config, error) {
 	var sf scenarioFile
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sf); err != nil {
-		return core.Config{}, fmt.Errorf("parse scenario %s: %w", path, err)
+		return core.Config{}, fmt.Errorf("parse: %w", err)
 	}
 	return sf.build()
 }
 
+// validate rejects malformed or contradictory field values before they
+// turn into a half-built configuration, with messages that say how to fix
+// the field.
+func (sf scenarioFile) validate() error {
+	switch {
+	case sf.PacketSizeBytes < 0:
+		return fmt.Errorf("packet_size_bytes %d is negative; give the full wired packet size in bytes (header included, e.g. 576)", sf.PacketSizeBytes)
+	case sf.PacketSizeBytes > 0 && sf.PacketSizeBytes <= 40:
+		return fmt.Errorf("packet_size_bytes %d does not exceed the 40-byte TCP/IP header; the paper sweeps 128-1536", sf.PacketSizeBytes)
+	case sf.TransferKB < 0:
+		return fmt.Errorf("transfer_kb %d is negative; give the bulk transfer size in KB", sf.TransferKB)
+	case sf.WindowKB < 0:
+		return fmt.Errorf("window_kb %d is negative; give the advertised window in KB", sf.WindowKB)
+	case sf.MTUBytes < -1:
+		return fmt.Errorf("mtu_bytes %d is invalid; give a positive wireless MTU, 0 to keep the preset, or -1 to disable fragmentation", sf.MTUBytes)
+	case sf.WiredKbps < 0:
+		return fmt.Errorf("wired_kbps %v is negative; give the wired link rate in Kbps", sf.WiredKbps)
+	case sf.WirelessKbps < 0:
+		return fmt.Errorf("wireless_kbps %v is negative; give the raw wireless rate in Kbps", sf.WirelessKbps)
+	case sf.NotifyEvery < 0:
+		return fmt.Errorf("notify_every %d is negative; 0 or 1 notifies on every failed attempt, N thins to every Nth", sf.NotifyEvery)
+	case sf.CrossTrafficPct < 0 || sf.CrossTrafficPct > 100:
+		return fmt.Errorf("cross_traffic_pct %d outside [0, 100]; it is the share of wired capacity given to background load", sf.CrossTrafficPct)
+	}
+	return nil
+}
+
+// parsePositiveDur parses an optional duration field that must be
+// positive when present.
+func parsePositiveDur(field, v string) (time.Duration, error) {
+	if v == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w (use a duration like \"4s\" or \"800ms\")", field, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("%s %v must be positive", field, d)
+	}
+	return d, nil
+}
+
 // build converts the file into a core.Config.
 func (sf scenarioFile) build() (core.Config, error) {
+	if err := sf.validate(); err != nil {
+		return core.Config{}, err
+	}
 	scheme := bs.Basic
 	if sf.Scheme != "" {
 		s, err := bs.ParseScheme(sf.Scheme)
@@ -72,11 +147,9 @@ func (sf scenarioFile) build() (core.Config, error) {
 		scheme = s
 	}
 	meanBad := 2 * time.Second
-	if sf.MeanBad != "" {
-		d, err := time.ParseDuration(sf.MeanBad)
-		if err != nil {
-			return core.Config{}, fmt.Errorf("mean_bad: %w", err)
-		}
+	if d, err := parsePositiveDur("mean_bad", sf.MeanBad); err != nil {
+		return core.Config{}, err
+	} else if d > 0 {
 		meanBad = d
 	}
 
@@ -97,11 +170,9 @@ func (sf scenarioFile) build() (core.Config, error) {
 		return core.Config{}, fmt.Errorf("unknown preset %q (want wan or lan)", sf.Preset)
 	}
 
-	if sf.MeanGood != "" {
-		d, err := time.ParseDuration(sf.MeanGood)
-		if err != nil {
-			return core.Config{}, fmt.Errorf("mean_good: %w", err)
-		}
+	if d, err := parsePositiveDur("mean_good", sf.MeanGood); err != nil {
+		return core.Config{}, err
+	} else if d > 0 {
 		cfg.Channel.MeanGood = d
 	}
 	cfg.Channel.Deterministic = sf.Deterministic
@@ -111,6 +182,19 @@ func (sf scenarioFile) build() (core.Config, error) {
 	if sf.WindowKB > 0 {
 		cfg.Window = units.ByteSize(sf.WindowKB) * units.KB
 	}
+	switch sf.MTUBytes {
+	case 0: // keep the preset
+	case -1:
+		cfg.MTU = 0
+	default:
+		cfg.MTU = units.ByteSize(sf.MTUBytes)
+	}
+	if sf.WiredKbps > 0 {
+		cfg.WiredRate = units.BitRate(sf.WiredKbps * 1000)
+	}
+	if sf.WirelessKbps > 0 {
+		cfg.WirelessRate = units.BitRate(sf.WirelessKbps * 1000)
+	}
 	switch sf.Variant {
 	case "", "tahoe":
 	case "reno":
@@ -118,7 +202,7 @@ func (sf scenarioFile) build() (core.Config, error) {
 	case "newreno":
 		cfg.Variant = tcp.NewReno
 	default:
-		return core.Config{}, fmt.Errorf("unknown variant %q", sf.Variant)
+		return core.Config{}, fmt.Errorf("unknown variant %q (want tahoe, reno, or newreno)", sf.Variant)
 	}
 	cfg.DelayedAcks = sf.DelayedAcks
 	cfg.SACK = sf.SACK
@@ -133,5 +217,33 @@ func (sf scenarioFile) build() (core.Config, error) {
 		cfg.Seed = sf.Seed
 	}
 	cfg.CollectTrace = sf.CollectTrace
+	if d, err := parsePositiveDur("horizon", sf.Horizon); err != nil {
+		return core.Config{}, err
+	} else if d > 0 {
+		cfg.Horizon = d
+	}
+
+	if len(sf.Chaos) > 0 && string(sf.Chaos) != "null" {
+		plan, err := chaos.Parse(sf.Chaos)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Chaos = plan
+		if h := plan.Horizon(); cfg.Horizon > 0 && h > cfg.Horizon {
+			return core.Config{}, fmt.Errorf("chaos plan schedules faults until %v but the horizon ends at %v; raise horizon or move the faults earlier", h, cfg.Horizon)
+		}
+	}
+	cfg.Checks = sf.Checks
+	switch sf.Stall {
+	case "":
+	case "off":
+		cfg.Stall = -1
+	default:
+		d, err := parsePositiveDur("stall", sf.Stall)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Stall = d
+	}
 	return cfg, cfg.Validate()
 }

@@ -87,6 +87,21 @@ func TestLoadScenarioRejections(t *testing.T) {
 		{"unknown variant", `{"variant": "vegas"}`},
 		{"bad duration", `{"mean_bad": "sometimes"}`},
 		{"invalid config", `{"packet_size_bytes": 10}`},
+		{"negative packet size", `{"packet_size_bytes": -1}`},
+		{"negative transfer", `{"transfer_kb": -5}`},
+		{"negative window", `{"window_kb": -1}`},
+		{"bad mtu", `{"mtu_bytes": -2}`},
+		{"negative wired rate", `{"wired_kbps": -56}`},
+		{"negative wireless rate", `{"wireless_kbps": -19.2}`},
+		{"negative notify thinning", `{"notify_every": -1}`},
+		{"cross traffic over 100", `{"cross_traffic_pct": 150}`},
+		{"negative mean_bad", `{"mean_bad": "-2s"}`},
+		{"bad horizon", `{"horizon": "eventually"}`},
+		{"negative stall", `{"stall": "-3s"}`},
+		{"bad stall word", `{"stall": "never"}`},
+		{"bad chaos json", `{"chaos": {"blackouts": "all of them"}}`},
+		{"chaos unknown link", `{"chaos": {"blackouts": [{"link": "nope", "at": "1s", "length": "1s"}]}}`},
+		{"chaos past horizon", `{"horizon": "10s", "chaos": {"crashes": [{"at": "20s", "downtime": "2s"}]}}`},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -98,6 +113,45 @@ func TestLoadScenarioRejections(t *testing.T) {
 	}
 	if _, err := loadScenario("/nonexistent/path.json"); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestLoadScenarioChaos(t *testing.T) {
+	path := writeScenario(t, `{
+		"scheme": "ebsn",
+		"transfer_kb": 20,
+		"horizon": "5m",
+		"checks": true,
+		"stall": "2m",
+		"chaos": {
+			"blackouts": [{"link": "wireless-down", "at": "5s", "length": "3s"}],
+			"crashes":   [{"at": "20s", "downtime": "2s"}],
+			"notify":    {"loss_prob": 0.5}
+		}
+	}`)
+	cfg, err := loadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Chaos.Enabled() {
+		t.Error("chaos plan not applied")
+	}
+	if !cfg.Checks || cfg.Stall != 2*time.Minute {
+		t.Errorf("checks/stall = %v/%v", cfg.Checks, cfg.Stall)
+	}
+	if len(cfg.Chaos.Blackouts) != 1 || len(cfg.Chaos.Crashes) != 1 || cfg.Chaos.Notify.LossProb != 0.5 {
+		t.Errorf("chaos plan = %+v", cfg.Chaos)
+	}
+}
+
+func TestLoadScenarioStallOff(t *testing.T) {
+	path := writeScenario(t, `{"stall": "off"}`)
+	cfg, err := loadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Stall >= 0 {
+		t.Errorf("stall \"off\" did not disable the watchdog: %v", cfg.Stall)
 	}
 }
 

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	"wtcp/internal/experiment"
@@ -21,7 +22,10 @@ func main() {
 			128, 256, 384, 512, 768, 1024, 1280, 1536,
 		},
 	}
-	points := experiment.Fig7(opt)
+	points, err := experiment.Fig7(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("Basic TCP over the wide-area preset: throughput (Kbps) by packet size")
 	fmt.Println(experiment.RenderThroughputTable("", points))

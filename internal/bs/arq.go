@@ -76,6 +76,25 @@ func newARQEngine(b *BaseStation, cfg ARQConfig) *arqEngine {
 // wireless hop.
 func (e *arqEngine) backlogPackets() int { return len(e.packetUnits) }
 
+// reset discards all recovery state — a base-station crash. Every pending
+// or in-flight unit and its timers are dropped; the link sequence counter
+// keeps running so post-restart units never reuse a sequence number the
+// mobile host has already seen. It returns the number of network packets
+// whose delivery state was lost.
+func (e *arqEngine) reset() int {
+	lost := len(e.packetUnits)
+	for _, en := range e.outstanding {
+		en.timer.Stop()
+	}
+	e.outstanding = make(map[uint64]*arqEntry)
+	e.pendingUnits = nil
+	e.packetUnits = make(map[uint64]int)
+	e.packetConn = make(map[uint64]int)
+	e.connUnits = make(map[int]int)
+	e.discarded = make(map[uint64]bool)
+	return lost
+}
+
 // admit accepts a data packet from the wired side, or refuses it when the
 // hold queue is full.
 func (e *arqEngine) admit(p *packet.Packet) bool {

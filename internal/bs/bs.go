@@ -78,7 +78,11 @@ func ParseScheme(name string) (Scheme, error) {
 			return s, nil
 		}
 	}
-	return 0, fmt.Errorf("bs: unknown scheme %q", name)
+	valid := make([]string, 0, len(schemeNames))
+	for _, s := range Schemes() {
+		valid = append(valid, s.String())
+	}
+	return 0, fmt.Errorf("bs: unknown scheme %q (want one of %v)", name, valid)
 }
 
 // Schemes lists all supported schemes in presentation order.
@@ -214,6 +218,13 @@ type Stats struct {
 	// SnoopSuppressedDupAcks counts dupacks absorbed at the base station.
 	SnoopLocalRetx         uint64
 	SnoopSuppressedDupAcks uint64
+	// Crashes counts injected crash/restart cycles; CrashLostPackets
+	// counts data packets whose forwarding state died with a crash
+	// (in-recovery, pending, or queued on the downlink); CrashDiscards
+	// counts packets dropped at the station's doors while it was down.
+	Crashes          uint64
+	CrashLostPackets uint64
+	CrashDiscards    uint64
 }
 
 // BaseStation is the gateway agent. Create with New, then deliver packets
@@ -234,6 +245,10 @@ type BaseStation struct {
 
 	// failuresSinceNotify implements Config.NotifyEvery.
 	failuresSinceNotify int
+
+	// downed marks the station as crashed: all traffic is dropped at its
+	// doors until Restart.
+	downed bool
 
 	stats Stats
 }
@@ -308,9 +323,44 @@ func (b *BaseStation) Backlog() int {
 	}
 }
 
+// Crash simulates a base-station failure: every piece of soft state —
+// ARQ windows, retry timers, the snoop cache, packets queued for the
+// radio — is lost, and until Restart the station drops whatever arrives
+// at either interface. It returns the number of data packets whose
+// forwarding state died with the crash; their recovery is end-to-end
+// TCP's problem, exactly the blackout-style fault that dominates real
+// deployments. Crashing an already-down station is a no-op.
+func (b *BaseStation) Crash() int {
+	if b.downed {
+		return 0
+	}
+	b.downed = true
+	b.stats.Crashes++
+	lost := b.down.DropQueued()
+	if b.arq != nil {
+		lost += b.arq.reset()
+	}
+	if b.snoop != nil {
+		lost += b.snoop.reset()
+	}
+	b.stats.CrashLostPackets += uint64(lost)
+	return lost
+}
+
+// Restart brings a crashed station back with empty state (a reboot, not a
+// resume). Restarting a live station is a no-op.
+func (b *BaseStation) Restart() { b.downed = false }
+
+// Down reports whether the station is crashed.
+func (b *BaseStation) Down() bool { return b.downed }
+
 // FromWired accepts a packet arriving over the wired link from the fixed
 // host (data segments, in this study).
 func (b *BaseStation) FromWired(p *packet.Packet) {
+	if b.downed {
+		b.stats.CrashDiscards++
+		return
+	}
 	if p.Kind != packet.Data {
 		// Nothing else flows FH->MH in this study; drop silently.
 		return
@@ -352,6 +402,10 @@ func (b *BaseStation) units(p *packet.Packet) []*packet.Packet {
 // FromWireless accepts a packet arriving over the wireless uplink from the
 // mobile host: TCP acks and link-level acks.
 func (b *BaseStation) FromWireless(p *packet.Packet) {
+	if b.downed {
+		b.stats.CrashDiscards++
+		return
+	}
 	switch p.Kind {
 	case packet.Ack:
 		if b.snoop != nil && b.snoop.filterAck(p) {

@@ -52,6 +52,20 @@ func newSnoopAgent(b *BaseStation, cfg SnoopConfig) *snoopAgent {
 	return a
 }
 
+// reset discards the cache and dup-ack state — a base-station crash. It
+// returns the number of cached segments lost. lastAck survives in spirit
+// only: a rebooted agent restarts from zero and re-learns it from the
+// next ack it sees, which is safe because filterAck treats a lower
+// cumulative ack as a new one and simply re-seeds.
+func (a *snoopAgent) reset() int {
+	lost := len(a.cache)
+	a.cache = make(map[int64]*cachedSeg)
+	a.lastAck = 0
+	a.dupacks = 0
+	a.timer.Stop()
+	return lost
+}
+
 // admit caches a data segment and forwards it onto the wireless link.
 func (a *snoopAgent) admit(p *packet.Packet) {
 	if len(a.cache) < a.cfg.MaxCached {

@@ -1,0 +1,211 @@
+package chaos
+
+import (
+	"errors"
+	"time"
+
+	"wtcp/internal/link"
+	"wtcp/internal/packet"
+	"wtcp/internal/sim"
+)
+
+// Stats counts injected faults over a run.
+type Stats struct {
+	// StormDrops counts deliveries lost to burst-loss storms; blackout
+	// losses appear in the affected link's Corrupted counter instead
+	// (blackouts are modelled as certain corruption at the channel).
+	StormDrops uint64
+	// CorruptDrops, Duplicates, and Reorders count per-packet fault
+	// injections across all hops.
+	CorruptDrops uint64
+	Duplicates   uint64
+	Reorders     uint64
+	// NotifyDropped, NotifyDuplicated, and NotifyDelayed count EBSN/
+	// quench notification faults.
+	NotifyDropped    uint64
+	NotifyDuplicated uint64
+	NotifyDelayed    uint64
+	// Crashes counts base-station failures injected; CrashLostPackets
+	// counts the forwarding state lost with them.
+	Crashes          uint64
+	CrashLostPackets uint64
+}
+
+// Crashable is the station-side contract for crash injection. Crash
+// returns the number of packets whose forwarding state was lost.
+type Crashable interface {
+	Crash() int
+	Restart()
+}
+
+// Injector executes a validated fault plan against an assembled topology.
+// Create with New, then Attach each link and ScheduleCrashes the base
+// station; everything else runs off simulation events.
+type Injector struct {
+	sim *sim.Simulator
+	rng *sim.RNG
+	cfg *Config
+
+	stats Stats
+}
+
+// New builds an injector for the given plan. rng must be dedicated to the
+// injector (derived from the scenario seed) so chaos draws never perturb
+// the channel's or the ARQ's sequences.
+func New(s *sim.Simulator, cfg *Config, rng *sim.RNG) (*Injector, error) {
+	if s == nil {
+		return nil, errors.New("chaos: nil simulator")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Enabled() && rng == nil {
+		return nil, errors.New("chaos: nil RNG")
+	}
+	return &Injector{sim: s, rng: rng, cfg: cfg}, nil
+}
+
+// Stats returns a copy of the fault counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// faultsFor returns the per-packet fault entry for a hop, if any.
+func (in *Injector) faultsFor(name string) (PacketFaults, bool) {
+	for _, p := range in.cfg.Packets {
+		if p.Link == name && p.enabled() {
+			return p, true
+		}
+	}
+	return PacketFaults{}, false
+}
+
+// stormsFor returns the storm windows for a hop.
+func (in *Injector) stormsFor(name string) []Storm {
+	var out []Storm
+	for _, s := range in.cfg.Storms {
+		if s.Link == name && s.LossProb > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// notifyApplies reports whether notification faults act on this hop.
+// Notifications travel BS -> FH, i.e. the reverse wired hop.
+func (in *Injector) notifyApplies(name string) bool {
+	return name == WiredRev && in.cfg.Notify.enabled()
+}
+
+// Attach installs this plan's delivery-time faults on l (storms, packet
+// corruption/duplication/reordering, and — on the reverse wired hop —
+// notification faults). Hops with no applicable faults are left
+// untouched. Blackouts are not handled here: they ride the link's error
+// channel via Config.OverlayChannel.
+func (in *Injector) Attach(l *link.Link) {
+	name := l.Name()
+	pf, hasPF := in.faultsFor(name)
+	storms := in.stormsFor(name)
+	notify := in.notifyApplies(name)
+	if !hasPF && len(storms) == 0 && !notify {
+		return
+	}
+	l.SetInterceptor(func(p *packet.Packet) bool {
+		now := in.sim.Now()
+		for _, s := range storms {
+			if now >= s.At && now < s.At+s.Length && in.rng.Bernoulli(s.LossProb) {
+				in.stats.StormDrops++
+				return false
+			}
+		}
+		if notify && p.IsNotification() {
+			return in.deliverNotification(l, p)
+		}
+		if hasPF {
+			return in.deliverWithPacketFaults(l, pf, p)
+		}
+		return true
+	})
+}
+
+// deliverNotification applies loss/duplication/delay to one EBSN or
+// quench message. Returning false consumes the original; duplicated or
+// delayed copies re-enter the receiver via Inject.
+func (in *Injector) deliverNotification(l *link.Link, p *packet.Packet) bool {
+	if in.rng.Bernoulli(in.cfg.Notify.LossProb) {
+		in.stats.NotifyDropped++
+		return false
+	}
+	if in.cfg.Notify.DupProb > 0 && in.rng.Bernoulli(in.cfg.Notify.DupProb) {
+		in.stats.NotifyDuplicated++
+		dup := *p
+		in.sim.Schedule(0, func() { l.Inject(&dup) })
+	}
+	if in.cfg.Notify.DelayProb > 0 && in.rng.Bernoulli(in.cfg.Notify.DelayProb) {
+		in.stats.NotifyDelayed++
+		held := p
+		in.sim.Schedule(in.cfg.Notify.Delay, func() { l.Inject(held) })
+		return false
+	}
+	return true
+}
+
+// deliverWithPacketFaults applies the per-packet corruption, duplication,
+// and reordering draws. Order matters and is fixed for determinism:
+// corruption first (a corrupted packet cannot also duplicate), then
+// duplication, then reordering.
+func (in *Injector) deliverWithPacketFaults(l *link.Link, pf PacketFaults, p *packet.Packet) bool {
+	if pf.CorruptProb > 0 && in.rng.Bernoulli(pf.CorruptProb) {
+		in.stats.CorruptDrops++
+		return false
+	}
+	if pf.DupProb > 0 && in.rng.Bernoulli(pf.DupProb) {
+		in.stats.Duplicates++
+		dup := *p
+		in.sim.Schedule(0, func() { l.Inject(&dup) })
+	}
+	if pf.ReorderProb > 0 && in.rng.Bernoulli(pf.ReorderProb) {
+		in.stats.Reorders++
+		held := p
+		in.sim.Schedule(pf.ReorderDelay, func() { l.Inject(held) })
+		return false
+	}
+	return true
+}
+
+// ScheduleCrashes arms the plan's base-station crash/restart cycles
+// against target.
+func (in *Injector) ScheduleCrashes(target Crashable) {
+	for _, cr := range in.cfg.Crashes {
+		cr := cr
+		in.sim.ScheduleAt(cr.At, func() {
+			in.stats.Crashes++
+			in.stats.CrashLostPackets += uint64(target.Crash())
+		})
+		in.sim.ScheduleAt(cr.At+cr.Downtime, func() { target.Restart() })
+	}
+}
+
+// Horizon reports the virtual time of the last scheduled fault (the end
+// of the latest window, crash downtime, or zero when the plan only has
+// probabilistic faults). Scenario runners can use it to sanity-check that
+// the run horizon actually covers the injected faults.
+func (c *Config) Horizon() time.Duration {
+	if c == nil {
+		return 0
+	}
+	var h time.Duration
+	bump := func(t time.Duration) {
+		if t > h {
+			h = t
+		}
+	}
+	for _, b := range c.Blackouts {
+		bump(b.At + b.Length)
+	}
+	for _, s := range c.Storms {
+		bump(s.At + s.Length)
+	}
+	for _, cr := range c.Crashes {
+		bump(cr.At + cr.Downtime)
+	}
+	return h
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"wtcp/internal/bs"
+	"wtcp/internal/chaos"
 	"wtcp/internal/errmodel"
 	"wtcp/internal/link"
 	"wtcp/internal/metrics"
@@ -100,6 +101,29 @@ type Config struct {
 	// traffic.
 	CrossTraffic CrossTraffic
 
+	// Chaos, when non-nil, injects the configured faults — link
+	// blackouts, loss storms, base-station crashes, notification faults,
+	// and per-packet corruption/duplication/reordering — on top of the
+	// scenario. All chaos randomness derives from Seed, so a chaos run is
+	// reproducible bit-for-bit. A nil or empty plan injects nothing.
+	Chaos *chaos.Config
+
+	// Checks enables periodic runtime invariant checking: sender window
+	// and sequence consistency, sequence-number monotonicity, packet
+	// conservation on every hop, and the event-heap's own structure. A
+	// violation aborts the run with an error — it means a protocol bug,
+	// not a network condition. CheckInterval tunes the virtual-time period
+	// (default 1 s).
+	Checks        bool
+	CheckInterval time.Duration
+	// Stall configures the no-progress watchdog: if no payload byte is
+	// newly acknowledged for this much virtual time, the run is aborted
+	// with a diagnostic snapshot instead of burning events until the
+	// horizon. Zero arms the watchdog at DefaultStall whenever Checks or
+	// Chaos are active (chaos can wedge a transfer by design); a negative
+	// value disables it.
+	Stall time.Duration
+
 	// Seed drives all randomness in the run (channel, corruption draws,
 	// ARQ backoff).
 	Seed int64
@@ -113,6 +137,12 @@ type Config struct {
 // DefaultHorizon bounds a run that fails to complete (e.g. a pathological
 // parameter choice); generous relative to the paper's ~minute transfers.
 const DefaultHorizon = 4 * time.Hour
+
+// DefaultStall is the watchdog's default no-progress window. Generous
+// relative to every legitimate quiet period in the paper's scenarios (the
+// longest backed-off RTO is 64 s and mean fades are seconds), so only a
+// genuinely wedged run trips it.
+const DefaultStall = 5 * time.Minute
 
 // CrossTraffic describes Poisson background load sharing the wired
 // forward link's queue with the connection under study. The packets are
@@ -215,9 +245,17 @@ func (c Config) Validate() error {
 		return errors.New("core: negative wireless overhead")
 	case c.MTU < 0:
 		return errors.New("core: negative MTU")
-	default:
-		return c.Channel.Validate()
 	}
+	if err := c.Chaos.Validate(); err != nil {
+		return err
+	}
+	if c.Scheme == bs.SplitConnection && c.Chaos.Enabled() {
+		// The split topology has no single base-station agent to crash and
+		// relays rather than forwards, so the fault plan's link names do
+		// not mean the same thing there.
+		return errors.New("core: fault injection is not supported for split-connection runs")
+	}
+	return c.Channel.Validate()
 }
 
 // MSS reports the TCP payload per segment implied by the packet size.
@@ -261,6 +299,16 @@ type Result struct {
 	Trace *trace.Trace
 	Cwnd  *trace.CwndSeries
 
+	// Aborted marks a run halted by the no-progress watchdog;
+	// AbortReason carries its diagnostic snapshot. An aborted run's
+	// Summary reflects progress up to the abort, like a horizon-capped
+	// run's.
+	Aborted     bool
+	AbortReason string
+	// Chaos holds the injected-fault counters when Config.Chaos was
+	// active (nil otherwise).
+	Chaos *chaos.Stats
+
 	// SplitWireless holds the base station's wireless-side sender
 	// counters for split-connection runs (nil otherwise); SplitWiredDone
 	// is when the fixed host's half finished — before the mobile host
@@ -297,17 +345,56 @@ func Run(cfg Config) (*Result, error) {
 		tp.sender.SetHooks(hooks)
 	}
 
+	if cfg.Checks {
+		tp.registerInvariants()
+		tp.sim.EnableChecks(cfg.CheckInterval)
+	}
+	if stall := cfg.stallWindow(); stall > 0 {
+		tp.sim.StartWatchdog(stall, tp.sender.SndUna, tp.snapshot)
+	}
+
 	tp.sender.Start()
-	for !tp.sender.Done() && tp.sim.Now() < cfg.Horizon {
+	for !tp.sender.Done() && tp.sim.Now() < cfg.Horizon && tp.sim.Failure() == nil {
 		if !tp.sim.Step() {
 			break
 		}
+	}
+
+	if f := tp.sim.Failure(); f != nil {
+		var stall *sim.StallError
+		if !errors.As(f, &stall) {
+			// An invariant violation is a protocol bug, not a network
+			// condition: surface it as a run error.
+			return nil, f
+		}
+		res := tp.result(cfg)
+		res.Aborted = true
+		res.AbortReason = stall.Error()
+		res.Trace = tr
+		res.Cwnd = cw
+		return res, nil
 	}
 
 	res := tp.result(cfg)
 	res.Trace = tr
 	res.Cwnd = cw
 	return res, nil
+}
+
+// stallWindow resolves the watchdog window: explicit wins, negative
+// disables, zero auto-arms at DefaultStall when checks or chaos are active
+// (a fault plan can wedge a transfer by design).
+func (c Config) stallWindow() time.Duration {
+	switch {
+	case c.Stall > 0:
+		return c.Stall
+	case c.Stall < 0:
+		return 0
+	case c.Checks || c.Chaos.Enabled():
+		return DefaultStall
+	default:
+		return 0
+	}
 }
 
 // topology is the assembled Figure 2 network, reused by the bulk runner
@@ -322,6 +409,8 @@ type topology struct {
 
 	wiredFwd, wiredRev       *link.Link
 	wirelessDown, wirelessUp *link.Link
+
+	chaos *chaos.Injector
 }
 
 // result assembles the standard measurement record.
@@ -335,6 +424,10 @@ func (tp *topology) result(cfg Config) *Result {
 		Mobile:       tp.mobile.Stats(),
 		WirelessDown: tp.wirelessDown.Stats(),
 		WirelessUp:   tp.wirelessUp.Stats(),
+	}
+	if tp.chaos != nil {
+		st := tp.chaos.Stats()
+		res.Chaos = &st
 	}
 	elapsed := tp.sender.FinishedAt()
 	if !res.Completed {
@@ -352,6 +445,15 @@ func newTopology(cfg Config, streaming bool) (*topology, error) {
 	ids := &packet.IDGen{}
 	rng := sim.NewRNG(cfg.Seed)
 
+	// The chaos RNG splits off first — and only when a fault plan is
+	// active — so every non-chaos run keeps exactly the draw sequences it
+	// had before fault injection existed.
+	var chaosRNG *sim.RNG
+	if cfg.Chaos.Enabled() {
+		chaosRNG = rng.Split()
+	}
+
+	var channel errmodel.Channel
 	channel, err := errmodel.NewMarkov(cfg.Channel, rng.Split())
 	if err != nil {
 		return nil, err
@@ -363,6 +465,15 @@ func newTopology(cfg Config, streaming bool) (*topology, error) {
 			return nil, err
 		}
 		upChannel = up
+	}
+	// Blackout windows ride the links' error channels as forced-BER
+	// overlays; outside the windows the overlay adds no randomness draws,
+	// so in-run behaviour away from the faults is unperturbed.
+	if channel, err = cfg.Chaos.OverlayChannel(chaos.WirelessDown, channel); err != nil {
+		return nil, err
+	}
+	if upChannel, err = cfg.Chaos.OverlayChannel(chaos.WirelessUp, upChannel); err != nil {
+		return nil, err
 	}
 
 	// Forward declarations so the delivery closures can reference agents
@@ -385,9 +496,21 @@ func newTopology(cfg Config, streaming bool) (*topology, error) {
 		red = &queue.REDConfig{MinThreshold: 10, MaxThreshold: 35, MaxP: 0.1, Weight: 0.2}
 		wiredRNG = rng.Split()
 	}
+	// A wired hop is error-free unless a blackout targets it, in which
+	// case it gets a nil-based overlay channel (and an RNG to drive the
+	// corruption draws inside the windows).
+	var wiredFwdCh errmodel.Channel
+	if cfg.Chaos.NeedsChannel(chaos.WiredFwd) {
+		if wiredFwdCh, err = cfg.Chaos.OverlayChannel(chaos.WiredFwd, nil); err != nil {
+			return nil, err
+		}
+		if wiredRNG == nil {
+			wiredRNG = rng.Split()
+		}
+	}
 	wiredFwd, err := link.New(s, link.Config{
 		Name: "wired-fwd", Rate: cfg.WiredRate, Delay: cfg.WiredDelay, QueueLimit: 50,
-		RED: red,
+		RED: red, Channel: wiredFwdCh,
 	}, wiredRNG, func(p *packet.Packet) {
 		if p.Conn == crossConn {
 			return // background traffic exits at the base station
@@ -400,9 +523,18 @@ func newTopology(cfg Config, streaming bool) (*topology, error) {
 	if cfg.CrossTraffic.enabled() {
 		startCrossTraffic(s, cfg.CrossTraffic.withDefaults(), ids, rng.Split(), wiredFwd, cfg.Horizon)
 	}
+	var wiredRevCh errmodel.Channel
+	var wiredRevRNG *sim.RNG
+	if cfg.Chaos.NeedsChannel(chaos.WiredRev) {
+		if wiredRevCh, err = cfg.Chaos.OverlayChannel(chaos.WiredRev, nil); err != nil {
+			return nil, err
+		}
+		wiredRevRNG = rng.Split()
+	}
 	wiredRev, err := link.New(s, link.Config{
 		Name: "wired-rev", Rate: cfg.WiredRate, Delay: cfg.WiredDelay, QueueLimit: 50,
-	}, nil, func(p *packet.Packet) { sender.Receive(p) })
+		Channel: wiredRevCh,
+	}, wiredRevRNG, func(p *packet.Packet) { sender.Receive(p) })
 	if err != nil {
 		return nil, err
 	}
@@ -473,7 +605,7 @@ func newTopology(cfg Config, streaming bool) (*topology, error) {
 		return nil, err
 	}
 
-	return &topology{
+	tp := &topology{
 		sim:          s,
 		ids:          ids,
 		sender:       sender,
@@ -484,7 +616,20 @@ func newTopology(cfg Config, streaming bool) (*topology, error) {
 		wiredRev:     wiredRev,
 		wirelessDown: wirelessDown,
 		wirelessUp:   wirelessUp,
-	}, nil
+	}
+	if chaosRNG != nil {
+		inj, err := chaos.New(s, cfg.Chaos, chaosRNG)
+		if err != nil {
+			return nil, err
+		}
+		inj.Attach(wiredFwd)
+		inj.Attach(wiredRev)
+		inj.Attach(wirelessDown)
+		inj.Attach(wirelessUp)
+		inj.ScheduleCrashes(station)
+		tp.chaos = inj
+	}
+	return tp, nil
 }
 
 // deriveAckTimeout computes a link-ack deadline from the radio timing: the

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+
 	"wtcp/internal/errmodel"
 	"wtcp/internal/link"
 	"wtcp/internal/metrics"
@@ -136,12 +138,32 @@ func runSplit(cfg Config) (*Result, error) {
 		wsSender.SetHooks(hooks)
 	}
 
+	if cfg.Checks {
+		s.AddCheck("fh-sender-state", fhSender.CheckInvariants)
+		s.AddCheck("ws-sender-state", wsSender.CheckInvariants)
+		s.AddCheck("fh-snd-una-monotonic", sim.Monotonic("fh snd_una", fhSender.SndUna))
+		s.AddCheck("ws-snd-una-monotonic", sim.Monotonic("ws snd_una", wsSender.SndUna))
+		s.AddCheck("mh-within-sent", sim.Conservation("in-order mobile bytes vs highest byte sent",
+			wsSender.SndMax, mhSink.RcvNxt))
+		s.EnableChecks(cfg.CheckInterval)
+	}
+	if stall := cfg.stallWindow(); stall > 0 {
+		// Progress means bytes acknowledged over the wireless half — the
+		// connection whose completion ends the run.
+		s.StartWatchdog(stall, wsSender.SndUna, nil)
+	}
+
 	fhSender.Start()
 	wsSender.Start()
-	for !wsSender.Done() && s.Now() < cfg.Horizon {
+	for !wsSender.Done() && s.Now() < cfg.Horizon && s.Failure() == nil {
 		if !s.Step() {
 			break
 		}
+	}
+
+	var stalled *sim.StallError
+	if f := s.Failure(); f != nil && !errors.As(f, &stalled) {
+		return nil, f
 	}
 
 	res := &Result{
@@ -157,6 +179,10 @@ func runSplit(cfg Config) (*Result, error) {
 	res.SplitWiredDone = fhSender.FinishedAt()
 	res.Trace = tr
 	res.Cwnd = cw
+	if stalled != nil {
+		res.Aborted = true
+		res.AbortReason = stalled.Error()
+	}
 	elapsed := wsSender.FinishedAt()
 	if !res.Completed {
 		elapsed = s.Now()

@@ -1,0 +1,145 @@
+package errmodel
+
+import (
+	"errors"
+	"sort"
+	"time"
+)
+
+// FaultWindow is one scheduled interval during which an Overlay forces the
+// channel into the Bad state with the given bit error rate, regardless of
+// what the underlying error process says. A BER of 1 makes every
+// transmission overlapping the window certain to be corrupted (a link
+// blackout); smaller values model burst-loss storms beyond the scheduled
+// Markov process.
+type FaultWindow struct {
+	// Start is the virtual time the fault begins.
+	Start time.Duration
+	// Length is how long the fault lasts.
+	Length time.Duration
+	// BER is the forced bit error rate inside the window.
+	BER float64
+}
+
+// End reports the first instant after the fault.
+func (w FaultWindow) End() time.Duration { return w.Start + w.Length }
+
+// Validate reports whether the window is usable.
+func (w FaultWindow) Validate() error {
+	switch {
+	case w.Start < 0:
+		return errors.New("errmodel: fault window starts before time zero")
+	case w.Length <= 0:
+		return errors.New("errmodel: fault window needs a positive length")
+	case w.BER < 0 || w.BER > 1:
+		return errors.New("errmodel: fault window BER outside [0, 1]")
+	default:
+		return nil
+	}
+}
+
+// Overlay composes a base error process with scheduled fault windows: the
+// chaos layer's link blackouts and loss storms. Outside every window the
+// overlay is transparent; inside one, the forced BER replaces (not adds
+// to) the base process for the overlapped fraction of a transmission, and
+// StateAt reports Bad. A nil base behaves as a perfect channel, which is
+// how error-free wired links gain injectable faults.
+type Overlay struct {
+	base    Channel
+	windows []FaultWindow
+}
+
+var _ Channel = (*Overlay)(nil)
+
+// NewOverlay builds an overlay over base (nil = perfect channel). Windows
+// are sorted by start time; overlapping windows are allowed, with the
+// highest BER winning where they overlap in state queries and each
+// contributing independently to expected errors being avoided by taking
+// the max per instant — in practice callers configure disjoint windows.
+func NewOverlay(base Channel, windows []FaultWindow) (*Overlay, error) {
+	for _, w := range windows {
+		if err := w.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	sorted := make([]FaultWindow, len(windows))
+	copy(sorted, windows)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	return &Overlay{base: base, windows: sorted}, nil
+}
+
+// forcedAt reports the forced BER at instant t and whether any window
+// covers t. With overlapping windows the highest BER wins.
+func (o *Overlay) forcedAt(t time.Duration) (float64, bool) {
+	ber, in := 0.0, false
+	for _, w := range o.windows {
+		if w.Start > t {
+			break
+		}
+		if t < w.End() {
+			in = true
+			if w.BER > ber {
+				ber = w.BER
+			}
+		}
+	}
+	return ber, in
+}
+
+// StateAt implements Channel: Bad inside any fault window, the base
+// process's state outside (Good when the base is nil).
+func (o *Overlay) StateAt(t time.Duration) State {
+	if _, in := o.forcedAt(t); in {
+		return Bad
+	}
+	if o.base == nil {
+		return Good
+	}
+	return o.base.StateAt(t)
+}
+
+// ExpectedBitErrors implements Channel. The transmission's bits are spread
+// uniformly over [start, end); fault windows contribute their forced BER
+// for the overlapped fraction, and the base process contributes for the
+// remainder. The uncovered-fraction scaling of the base mean is exact for
+// a base process whose BER is constant over the interval and a close
+// upper-structure approximation otherwise (fault windows dominate the
+// error count wherever they overlap).
+func (o *Overlay) ExpectedBitErrors(start, end time.Duration, bits int64) float64 {
+	if bits <= 0 {
+		return 0
+	}
+	if end <= start {
+		if ber, in := o.forcedAt(start); in {
+			return ber * float64(bits)
+		}
+		if o.base == nil {
+			return 0
+		}
+		return o.base.ExpectedBitErrors(start, end, bits)
+	}
+	total := float64(end - start)
+	covered := time.Duration(0)
+	forced := 0.0
+	for _, w := range o.windows {
+		if w.Start >= end {
+			break
+		}
+		lo, hi := maxDur(start, w.Start), minDur(end, w.End())
+		if hi <= lo {
+			continue
+		}
+		overlap := hi - lo
+		covered += overlap
+		forced += w.BER * float64(bits) * float64(overlap) / total
+	}
+	if covered > end-start {
+		covered = end - start
+	}
+	baseMean := 0.0
+	if o.base != nil && covered < end-start {
+		baseMean = o.base.ExpectedBitErrors(start, end, bits) *
+			float64(end-start-covered) / total
+	}
+	return forced + baseMean
+}

@@ -1,0 +1,110 @@
+package errmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFaultWindowValidate(t *testing.T) {
+	good := FaultWindow{Start: time.Second, Length: time.Second, BER: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid window rejected: %v", err)
+	}
+	bad := []FaultWindow{
+		{Start: -time.Second, Length: time.Second, BER: 1},
+		{Start: 0, Length: 0, BER: 1},
+		{Start: 0, Length: time.Second, BER: -0.1},
+		{Start: 0, Length: time.Second, BER: 1.1},
+	}
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("invalid window accepted: %+v", w)
+		}
+	}
+	if got := good.End(); got != 2*time.Second {
+		t.Errorf("End() = %v", got)
+	}
+}
+
+func TestOverlayNilBaseIsPerfectOutsideWindows(t *testing.T) {
+	o, err := NewOverlay(nil, []FaultWindow{{Start: 10 * time.Second, Length: 5 * time.Second, BER: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.StateAt(time.Second) != Good {
+		t.Error("outside the window: not Good")
+	}
+	if o.StateAt(12*time.Second) != Bad {
+		t.Error("inside the window: not Bad")
+	}
+	if o.StateAt(15*time.Second) != Good {
+		t.Error("window end is exclusive")
+	}
+	if got := o.ExpectedBitErrors(0, time.Second, 1000); got != 0 {
+		t.Errorf("errors outside window = %v, want 0", got)
+	}
+	// Fully inside a BER=1 window: every bit is expected to err.
+	if got := o.ExpectedBitErrors(11*time.Second, 12*time.Second, 1000); got != 1000 {
+		t.Errorf("errors inside window = %v, want 1000", got)
+	}
+	// Half-overlapped transmission: half the bits are under the fault.
+	if got := o.ExpectedBitErrors(9*time.Second, 11*time.Second, 1000); got != 500 {
+		t.Errorf("errors half-in = %v, want 500", got)
+	}
+}
+
+func TestOverlayDelegatesToBase(t *testing.T) {
+	base, err := NewMarkov(Config{
+		MeanGood: time.Second, MeanBad: time.Second,
+		GoodBER: 0, BadBER: 1e-3, Deterministic: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOverlay(base, []FaultWindow{{Start: time.Hour, Length: time.Second, BER: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far from the window the overlay is transparent.
+	for _, at := range []time.Duration{0, 500 * time.Millisecond, 1500 * time.Millisecond} {
+		if o.StateAt(at) != base.StateAt(at) {
+			t.Errorf("StateAt(%v) diverges from the base process", at)
+		}
+	}
+	wantErrs := base.ExpectedBitErrors(0, 2*time.Second, 10000)
+	if got := o.ExpectedBitErrors(0, 2*time.Second, 10000); got != wantErrs {
+		t.Errorf("ExpectedBitErrors diverges from the base: %v vs %v", got, wantErrs)
+	}
+}
+
+func TestOverlayHighestBERWinsOnOverlap(t *testing.T) {
+	o, err := NewOverlay(nil, []FaultWindow{
+		{Start: 0, Length: 2 * time.Second, BER: 0.1},
+		{Start: time.Second, Length: 2 * time.Second, BER: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ber, in := o.forcedAt(1500 * time.Millisecond); !in || ber != 0.5 {
+		t.Errorf("forcedAt overlap = %v/%v, want 0.5/true", ber, in)
+	}
+}
+
+func TestOverlayRejectsInvalidWindow(t *testing.T) {
+	if _, err := NewOverlay(nil, []FaultWindow{{Start: 0, Length: -time.Second, BER: 1}}); err == nil {
+		t.Error("invalid window accepted")
+	}
+}
+
+func TestOverlayZeroLengthTransmission(t *testing.T) {
+	o, err := NewOverlay(nil, []FaultWindow{{Start: time.Second, Length: time.Second, BER: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.ExpectedBitErrors(1500*time.Millisecond, 1500*time.Millisecond, 100); got != 100 {
+		t.Errorf("instantaneous transmission inside window = %v, want 100", got)
+	}
+	if got := o.ExpectedBitErrors(0, 0, 100); got != 0 {
+		t.Errorf("instantaneous transmission outside window = %v, want 0", got)
+	}
+}

@@ -31,7 +31,10 @@ type Advisor struct {
 // CalibrateAdvisor runs the Figure 7 sweep (basic TCP) for the options'
 // bad periods and packet sizes and records each condition's winner.
 func CalibrateAdvisor(opt Options) (*Advisor, error) {
-	points := Fig7(opt)
+	points, err := Fig7(opt)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: calibration sweep: %w", err)
+	}
 	if len(points) == 0 {
 		return nil, errors.New("experiment: empty calibration sweep")
 	}

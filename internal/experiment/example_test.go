@@ -12,12 +12,16 @@ import (
 // ExampleFig7 runs a reduced Figure 7 sweep and locates the optimal
 // packet size for a given error condition — the paper's §4.1 proposal.
 func ExampleFig7() {
-	points := experiment.Fig7(experiment.Options{
+	points, err := experiment.Fig7(experiment.Options{
 		Replications: 2,
 		Transfer:     40 * units.KB,
 		PacketSizes:  []units.ByteSize{128, 512, 1536},
 		BadPeriods:   []time.Duration{time.Second},
 	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
 	size, tput := experiment.OptimalPacketSize(points, time.Second)
 	fmt.Println("points:", len(points))
 	fmt.Println("optimum in sweep:", size == 128 || size == 512 || size == 1536)

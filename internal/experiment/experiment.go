@@ -16,7 +16,9 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"wtcp/internal/bs"
@@ -58,6 +60,13 @@ type Options struct {
 	// paper's.
 	PacketSizes []units.ByteSize
 	BadPeriods  []time.Duration
+	// Retries bounds how many times a failed or watchdog-aborted
+	// replication is re-run with fresh randomness before being skipped
+	// (default 1; negative disables retrying).
+	Retries int
+	// Checks enables runtime invariant checking inside every run (see
+	// core.Config.Checks). A violation fails the replication.
+	Checks bool
 }
 
 func (o Options) withDefaults() Options {
@@ -112,16 +121,20 @@ type RetransPoint struct {
 }
 
 // wanSweep runs the WAN packet-size sweep for one scheme.
-func wanSweep(scheme bs.Scheme, opt Options) []ThroughputPoint {
+func wanSweep(scheme bs.Scheme, opt Options) ([]ThroughputPoint, error) {
 	opt = opt.withDefaults()
 	var tps []ThroughputPoint
 	for _, bad := range opt.wanBadPeriods() {
 		for _, size := range opt.packetSizes() {
 			var tput, goodput stats.Sample
-			for seed := int64(1); seed <= int64(opt.Replications); seed++ {
-				r := mustRun(wanConfig(scheme, size, bad, opt, seed))
+			_, err := runReps(opt, func(seed int64) core.Config {
+				return wanConfig(scheme, size, bad, opt, seed)
+			}, func(r *core.Result) {
 				tput.Add(r.Summary.ThroughputKbps)
 				goodput.Add(r.Summary.Goodput)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%v sweep, bad period %v, packet size %d: %w", scheme, bad, size, err)
 			}
 			cfg := core.WAN(scheme, size, bad)
 			tps = append(tps, ThroughputPoint{
@@ -134,7 +147,7 @@ func wanSweep(scheme bs.Scheme, opt Options) []ThroughputPoint {
 			})
 		}
 	}
-	return tps
+	return tps, nil
 }
 
 // wanConfig builds one run's configuration.
@@ -144,6 +157,7 @@ func wanConfig(scheme bs.Scheme, size units.ByteSize, bad time.Duration, opt Opt
 		cfg.TransferSize = opt.Transfer
 	}
 	cfg.Seed = opt.BaseSeed + seed
+	cfg.Checks = opt.Checks
 	return cfg
 }
 
@@ -154,29 +168,93 @@ func lanConfig(scheme bs.Scheme, bad time.Duration, opt Options, seed int64) cor
 		cfg.TransferSize = opt.Transfer
 	}
 	cfg.Seed = opt.BaseSeed + seed
+	cfg.Checks = opt.Checks
 	return cfg
 }
 
-// mustRun executes a validated configuration; a failure here is a
-// programming error in the experiment definitions, reported as a panic so
-// harnesses fail loudly rather than report partial figures.
-func mustRun(cfg core.Config) *core.Result {
-	r, err := core.Run(cfg)
-	if err != nil {
-		panic(fmt.Sprintf("experiment: run failed: %v", err))
+// retries resolves the per-replication retry budget.
+func (o Options) retries() int {
+	switch {
+	case o.Retries > 0:
+		return o.Retries
+	case o.Retries < 0:
+		return 0
+	default:
+		return 1
 	}
-	return r
+}
+
+// retrySeedOffset pushes a retried replication's seed far outside the
+// normal per-point seed range, so retries draw fresh, disjoint randomness
+// instead of replaying the failure.
+const retrySeedOffset = int64(1) << 20
+
+// runOnce executes one replication: the configuration built for seed,
+// re-built with offset seeds up to the retry budget when a run errors or
+// the watchdog aborts it.
+func runOnce(opt Options, build func(seed int64) core.Config, seed int64) (*core.Result, error) {
+	var lastErr error
+	for attempt := 0; attempt <= opt.retries(); attempt++ {
+		cfg := build(seed + int64(attempt)*retrySeedOffset)
+		r, err := core.Run(cfg)
+		switch {
+		case err != nil:
+			lastErr = fmt.Errorf("seed %d: %w", cfg.Seed, err)
+		case r.Aborted:
+			lastErr = fmt.Errorf("seed %d: watchdog abort: %s", cfg.Seed, firstLine(r.AbortReason))
+		default:
+			return r, nil
+		}
+	}
+	return nil, lastErr
+}
+
+// runReps executes the replication loop for one experiment point, feeding
+// each successful result to accumulate. A replication that still fails
+// after its retries is skipped; runReps reports how many replications
+// contributed and errors only when none did (a point built from zero
+// samples would silently fabricate results).
+func runReps(opt Options, build func(seed int64) core.Config, accumulate func(*core.Result)) (int, error) {
+	succeeded := 0
+	var firstErr error
+	for seed := int64(1); seed <= int64(opt.Replications); seed++ {
+		r, err := runOnce(opt, build, seed)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		accumulate(r)
+		succeeded++
+	}
+	if succeeded == 0 {
+		if firstErr == nil {
+			firstErr = errors.New("no replications configured")
+		}
+		return 0, fmt.Errorf("experiment: every replication failed: %w", firstErr)
+	}
+	return succeeded, nil
+}
+
+// firstLine trims a multi-line diagnostic (a watchdog snapshot) to its
+// summary line for inline error messages.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // Fig7 reproduces Figure 7: basic-TCP throughput vs packet size.
-func Fig7(opt Options) []ThroughputPoint { return wanSweep(bs.Basic, opt) }
+func Fig7(opt Options) ([]ThroughputPoint, error) { return wanSweep(bs.Basic, opt) }
 
 // Fig8 reproduces Figure 8: EBSN throughput vs packet size.
-func Fig8(opt Options) []ThroughputPoint { return wanSweep(bs.EBSN, opt) }
+func Fig8(opt Options) ([]ThroughputPoint, error) { return wanSweep(bs.EBSN, opt) }
 
 // Fig9 reproduces Figure 9: retransmitted data vs packet size for basic
 // TCP and EBSN.
-func Fig9(opt Options) []RetransPoint {
+func Fig9(opt Options) ([]RetransPoint, error) {
 	opt = opt.withDefaults()
 	var out []RetransPoint
 	for _, scheme := range []bs.Scheme{bs.Basic, bs.EBSN} {
@@ -184,22 +262,26 @@ func Fig9(opt Options) []RetransPoint {
 			for _, size := range opt.packetSizes() {
 				var retrans stats.Sample
 				var timeouts uint64
-				for seed := int64(1); seed <= int64(opt.Replications); seed++ {
-					r := mustRun(wanConfig(scheme, size, bad, opt, seed))
+				n, err := runReps(opt, func(seed int64) core.Config {
+					return wanConfig(scheme, size, bad, opt, seed)
+				}, func(r *core.Result) {
 					retrans.Add(r.Summary.RetransmittedKB())
 					timeouts += r.Summary.Timeouts
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig9 %v, bad period %v, packet size %d: %w", scheme, bad, size, err)
 				}
 				out = append(out, RetransPoint{
 					Scheme:      scheme,
 					BadPeriod:   bad,
 					PacketSize:  size,
 					RetransKB:   &retrans,
-					TimeoutsAvg: float64(timeouts) / float64(opt.Replications),
+					TimeoutsAvg: float64(timeouts) / float64(n),
 				})
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // LANPoint is one (scheme, bad period) cell of Figures 10 and 11.
@@ -214,18 +296,22 @@ type LANPoint struct {
 
 // LANStudy reproduces Figures 10 (throughput vs bad period) and 11
 // (retransmitted data vs bad period) in one pass over basic TCP and EBSN.
-func LANStudy(opt Options) []LANPoint {
+func LANStudy(opt Options) ([]LANPoint, error) {
 	opt = opt.withDefaults()
 	var out []LANPoint
 	for _, scheme := range []bs.Scheme{bs.Basic, bs.EBSN} {
 		for _, bad := range opt.lanBadPeriods() {
 			var tput, retrans stats.Sample
 			var timeouts uint64
-			for seed := int64(1); seed <= int64(opt.Replications); seed++ {
-				r := mustRun(lanConfig(scheme, bad, opt, seed))
+			n, err := runReps(opt, func(seed int64) core.Config {
+				return lanConfig(scheme, bad, opt, seed)
+			}, func(r *core.Result) {
 				tput.Add(r.Summary.ThroughputMbps)
 				retrans.Add(r.Summary.RetransmittedKB())
 				timeouts += r.Summary.Timeouts
+			})
+			if err != nil {
+				return nil, fmt.Errorf("lan study %v, bad period %v: %w", scheme, bad, err)
 			}
 			cfg := core.LAN(scheme, bad)
 			out = append(out, LANPoint{
@@ -233,12 +319,12 @@ func LANStudy(opt Options) []LANPoint {
 				BadPeriod:          bad,
 				ThroughputMbps:     &tput,
 				RetransKB:          &retrans,
-				TimeoutsAvg:        float64(timeouts) / float64(opt.Replications),
+				TimeoutsAvg:        float64(timeouts) / float64(n),
 				TheoreticalMaxMbps: cfg.TheoreticalMaxKbps() / 1000,
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // TraceFigure reproduces one of Figures 3-5: a deterministic-channel run

@@ -22,7 +22,10 @@ func quickOpts() Options {
 }
 
 func TestFig7ShapeBasicTCP(t *testing.T) {
-	points := Fig7(quickOpts())
+	points, err := Fig7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(points) != 6 {
 		t.Fatalf("points = %d, want 2 bads x 3 sizes", len(points))
 	}
@@ -62,8 +65,14 @@ func TestFig7ShapeBasicTCP(t *testing.T) {
 
 func TestFig8EBSNBeatsBasicAndLikesBigPackets(t *testing.T) {
 	opt := quickOpts()
-	basic := Fig7(opt)
-	ebsn := Fig8(opt)
+	basic, err := Fig7(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ebsn, err := Fig8(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// EBSN >= basic pointwise (averaged samples; allow tiny slack).
 	for i := range ebsn {
 		b, e := basic[i], ebsn[i]
@@ -89,7 +98,10 @@ func TestFig8EBSNBeatsBasicAndLikesBigPackets(t *testing.T) {
 
 func TestFig9RetransmissionsShape(t *testing.T) {
 	opt := quickOpts()
-	points := Fig9(opt)
+	points, err := Fig9(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(points) != 12 {
 		t.Fatalf("points = %d, want 2 schemes x 2 bads x 3 sizes", len(points))
 	}
@@ -128,7 +140,10 @@ func TestLANStudyShape(t *testing.T) {
 		Transfer:     units.MB,
 		BadPeriods:   []time.Duration{400 * time.Millisecond, 1600 * time.Millisecond},
 	}
-	points := LANStudy(opt)
+	points, err := LANStudy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(points) != 4 {
 		t.Fatalf("points = %d, want 2 schemes x 2 bads", len(points))
 	}
@@ -201,7 +216,10 @@ func TestTraceFiguresQualitative(t *testing.T) {
 }
 
 func TestOptimalPacketSize(t *testing.T) {
-	points := Fig7(quickOpts())
+	points, err := Fig7(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
 	size, tput := OptimalPacketSize(points, time.Second)
 	if size == 0 || tput <= 0 {
 		t.Fatal("no optimum found")
@@ -223,7 +241,10 @@ func TestRenderersProduceTablesAndCSV(t *testing.T) {
 		PacketSizes:  []units.ByteSize{512},
 		BadPeriods:   []time.Duration{time.Second},
 	}
-	tp := Fig7(opt)
+	tp, err := Fig7(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	table := RenderThroughputTable("Fig 7", tp)
 	if !strings.Contains(table, "Fig 7") || !strings.Contains(table, "512B") || !strings.Contains(table, "tput_th") {
 		t.Errorf("throughput table malformed:\n%s", table)
@@ -233,7 +254,10 @@ func TestRenderersProduceTablesAndCSV(t *testing.T) {
 		t.Errorf("throughput CSV malformed:\n%s", csv)
 	}
 
-	rp := Fig9(opt)
+	rp, err := Fig9(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rtable := RenderRetransTable("Fig 9", rp)
 	if !strings.Contains(rtable, "[basic]") || !strings.Contains(rtable, "[ebsn]") {
 		t.Errorf("retrans table malformed:\n%s", rtable)
@@ -243,7 +267,10 @@ func TestRenderersProduceTablesAndCSV(t *testing.T) {
 		t.Errorf("retrans CSV malformed:\n%s", rcsv)
 	}
 
-	lp := LANStudy(Options{Replications: 2, Transfer: 256 * units.KB, BadPeriods: []time.Duration{800 * time.Millisecond}})
+	lp, err := LANStudy(Options{Replications: 2, Transfer: 256 * units.KB, BadPeriods: []time.Duration{800 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ltable := RenderLANTable("Fig 10/11", lp)
 	if !strings.Contains(ltable, "800ms") || !strings.Contains(ltable, "ebsn") {
 		t.Errorf("LAN table malformed:\n%s", ltable)
@@ -263,8 +290,15 @@ func TestFig8GoodputNearOne(t *testing.T) {
 		PacketSizes:  []units.ByteSize{512},
 		BadPeriods:   []time.Duration{4 * time.Second},
 	}
-	ebsn := Fig8(opt)[0]
-	basic := Fig7(opt)[0]
+	ebsnPts, err := Fig8(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	basicPts, err := Fig7(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ebsn, basic := ebsnPts[0], basicPts[0]
 	if ebsn.Goodput == nil || basic.Goodput == nil {
 		t.Fatal("goodput samples missing")
 	}

@@ -1,0 +1,85 @@
+package link
+
+import (
+	"testing"
+	"time"
+
+	"wtcp/internal/packet"
+	"wtcp/internal/sim"
+	"wtcp/internal/units"
+)
+
+func TestInterceptorConsumesDelivery(t *testing.T) {
+	s := sim.New()
+	var got []*packet.Packet
+	l, err := New(s, Config{Name: "t", Rate: units.Mbps}, nil,
+		func(p *packet.Packet) { got = append(got, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []*packet.Packet
+	l.SetInterceptor(func(p *packet.Packet) bool {
+		seen = append(seen, p)
+		return p.ID != 2 // consume packet 2
+	})
+	for i := uint64(1); i <= 3; i++ {
+		l.Send(mkData(i, 100))
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 {
+		t.Errorf("interceptor saw %d deliveries, want 3", len(seen))
+	}
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 3 {
+		t.Errorf("deliveries = %v, want packets 1 and 3", got)
+	}
+	st := l.Stats()
+	// The consumed packet is not counted as delivered, keeping
+	// Delivered+Corrupted <= Sent.
+	if st.Sent != 3 || st.Delivered != 2 || st.Corrupted != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestInterceptorRemovable(t *testing.T) {
+	s := sim.New()
+	var got []*packet.Packet
+	l, err := New(s, Config{Name: "t", Rate: units.Mbps}, nil,
+		func(p *packet.Packet) { got = append(got, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetInterceptor(func(*packet.Packet) bool { return false })
+	l.Send(mkData(1, 100))
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	l.SetInterceptor(nil)
+	l.Send(mkData(2, 100))
+	if err := s.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 2 {
+		t.Errorf("deliveries after removal = %v, want only packet 2", got)
+	}
+}
+
+func TestInjectBypassesTransmitter(t *testing.T) {
+	s := sim.New()
+	var got []*packet.Packet
+	l, err := New(s, Config{Name: "t", Rate: units.Kbps, Delay: time.Second}, nil,
+		func(p *packet.Packet) { got = append(got, p) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject delivers immediately: no queue, no serialization, no delay.
+	l.Inject(mkData(9, 100))
+	if len(got) != 1 || got[0].ID != 9 {
+		t.Fatalf("injected packet not delivered synchronously: %v", got)
+	}
+	st := l.Stats()
+	if st.Injected != 1 || st.Sent != 0 || st.Delivered != 0 {
+		t.Errorf("stats = %+v; injection must not count as sent or delivered", st)
+	}
+}

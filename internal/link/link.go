@@ -38,6 +38,10 @@ type Stats struct {
 	// framing overhead multiplier).
 	BytesSent      units.ByteSize
 	BytesDelivered units.ByteSize
+	// Injected counts deliveries that bypassed the transmitter entirely
+	// (fault-injected duplicates and delayed releases); they are kept out
+	// of Delivered so Delivered+Corrupted <= Sent stays an invariant.
+	Injected uint64
 	// ECNMarked counts packets that received the CE congestion mark.
 	ECNMarked uint64
 }
@@ -83,15 +87,16 @@ func (c Config) validate() error {
 
 // Link is a simplex link. Create with New; the zero value is unusable.
 type Link struct {
-	sim      *sim.Simulator
-	cfg      Config
-	rng      *sim.RNG
-	q        *queue.DropTail
-	red      *queue.RED
-	busy     bool
-	deliver  func(*packet.Packet)
-	onDrop   func(*packet.Packet)
-	onTxDone func(*packet.Packet)
+	sim       *sim.Simulator
+	cfg       Config
+	rng       *sim.RNG
+	q         *queue.DropTail
+	red       *queue.RED
+	busy      bool
+	deliver   func(*packet.Packet)
+	onDrop    func(*packet.Packet)
+	onTxDone  func(*packet.Packet)
+	intercept func(*packet.Packet) bool
 
 	stats Stats
 }
@@ -141,6 +146,23 @@ func (l *Link) SetDropHook(fn func(*packet.Packet)) { l.onDrop = fn }
 // correct moment (a queued packet must not age its timer while waiting for
 // the transmitter). May be nil.
 func (l *Link) SetTxDoneHook(fn func(*packet.Packet)) { l.onTxDone = fn }
+
+// SetInterceptor installs a delivery-time intercept: fn runs after the
+// propagation delay, immediately before the packet would be handed to the
+// receiver, and returning false consumes the packet (the receiver never
+// sees it; delivery counters are not incremented). Fault-injection layers
+// use it for loss, duplication, and delay beyond what the error channel
+// models. May be nil to remove.
+func (l *Link) SetInterceptor(fn func(*packet.Packet) bool) { l.intercept = fn }
+
+// Inject hands p directly to the receiver, bypassing the queue, the
+// transmitter, and the error channel, and counting it as delivered. Fault
+// injectors use it to re-deliver duplicated packets or release delayed
+// ones; it is also the natural seam for replaying captured traffic.
+func (l *Link) Inject(p *packet.Packet) {
+	l.stats.Injected++
+	l.deliver(p)
+}
 
 // Name reports the configured label.
 func (l *Link) Name() string { return l.cfg.Name }
@@ -247,6 +269,9 @@ func (l *Link) kick() {
 			}
 		} else {
 			l.sim.Schedule(l.cfg.Delay, func() {
+				if l.intercept != nil && !l.intercept(p) {
+					return // consumed by the fault injector
+				}
 				l.stats.Delivered++
 				l.stats.BytesDelivered += p.Size()
 				l.deliver(p)

@@ -147,6 +147,12 @@ func (p *Packet) IsControl() bool {
 	return p.Kind == LinkAck || p.Kind == EBSN || p.Kind == SourceQuench
 }
 
+// IsNotification reports whether the packet is a bad-state notification
+// travelling toward the source (an EBSN or an ICMP source quench).
+func (p *Packet) IsNotification() bool {
+	return p.Kind == EBSN || p.Kind == SourceQuench
+}
+
 // String renders a one-line summary for traces and test failures.
 func (p *Packet) String() string {
 	switch p.Kind {

@@ -93,6 +93,13 @@ type Simulator struct {
 	// fired counts events executed; useful for tests and for detecting
 	// runaway simulations.
 	fired uint64
+
+	// checks are the registered invariants (see check.go); checksOn marks
+	// the periodic runner as started, and failure records the first
+	// invariant violation or watchdog stall.
+	checks   []check
+	checksOn bool
+	failure  error
 }
 
 // New returns an empty simulator with the clock at zero.

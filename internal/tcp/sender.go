@@ -2,6 +2,8 @@ package tcp
 
 import (
 	"errors"
+	"fmt"
+	"math"
 	"time"
 
 	"wtcp/internal/packet"
@@ -117,6 +119,43 @@ func (s *Sender) SndUna() int64 { return s.sndUna }
 
 // SndNxt reports the next byte offset to send.
 func (s *Sender) SndNxt() int64 { return s.sndNxt }
+
+// SndMax reports the highest byte offset ever sent plus one.
+func (s *Sender) SndMax() int64 { return s.sndMax }
+
+// CheckInvariants verifies the sender's internal consistency: the
+// congestion window within its legal bounds and the sequence pointers in
+// their required order. It is registered as a periodic simulation check
+// when invariant checking is enabled; a violation means a protocol bug,
+// not a network condition (no network behaviour, however adversarial,
+// may break these).
+func (s *Sender) CheckInvariants() error {
+	mss := float64(s.cfg.MSS)
+	adv := float64(s.cfg.Window)
+	switch {
+	case math.IsNaN(s.cwnd) || math.IsInf(s.cwnd, 0):
+		return fmt.Errorf("cwnd is not finite: %v", s.cwnd)
+	case s.cwnd < mss:
+		return fmt.Errorf("cwnd %.1f below one segment (%v)", s.cwnd, s.cfg.MSS)
+	case s.cwnd > 2*(adv+mss)+float64(DupAckThreshold)*mss:
+		// Reno inflation can push cwnd past the advertised window by up to
+		// a flight of dupacks; anything beyond twice the window plus that
+		// allowance is runaway growth.
+		return fmt.Errorf("cwnd %.1f beyond any legal inflation of the %v window", s.cwnd, s.cfg.Window)
+	case s.ssthresh < 0:
+		return fmt.Errorf("negative ssthresh %.1f", s.ssthresh)
+	case s.sndUna < 0 || s.sndUna > s.sndNxt:
+		return fmt.Errorf("sequence order violated: snd_una %d > snd_nxt %d", s.sndUna, s.sndNxt)
+	case s.sndNxt > s.sndMax:
+		return fmt.Errorf("sequence order violated: snd_nxt %d > snd_max %d", s.sndNxt, s.sndMax)
+	case s.sndMax > int64(s.cfg.Total):
+		return fmt.Errorf("snd_max %d beyond the %d-byte transfer", s.sndMax, s.cfg.Total)
+	case s.avail > int64(s.cfg.Total):
+		return fmt.Errorf("application made %d bytes available of a %d-byte transfer", s.avail, s.cfg.Total)
+	default:
+		return nil
+	}
+}
 
 // window is the usable send window in bytes: min(cwnd, advertised).
 func (s *Sender) window() int64 {
