@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check bench figures traces report fuzz clean
+.PHONY: all build vet test test-race check bench figures traces report fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -43,6 +43,14 @@ fuzz:
 	$(GO) test -fuzz=FuzzSenderAckStream -fuzztime=30s ./internal/tcp
 	$(GO) test -fuzz=FuzzScenario -fuzztime=30s ./cmd/wtcp-sim
 	$(GO) test -fuzz=FuzzChaosParse -fuzztime=30s ./internal/chaos
+
+# CI-sized fuzzing: ~10s per target, enough to catch regressions on the
+# seeded corpora without stalling the pipeline.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzReassembler -fuzztime=10s ./internal/ip
+	$(GO) test -fuzz=FuzzSenderAckStream -fuzztime=10s ./internal/tcp
+	$(GO) test -fuzz=FuzzScenario -fuzztime=10s ./cmd/wtcp-sim
+	$(GO) test -fuzz=FuzzChaosParse -fuzztime=10s ./internal/chaos
 
 clean:
 	$(GO) clean ./...

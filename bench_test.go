@@ -14,6 +14,7 @@
 package wtcp_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -84,7 +85,7 @@ func BenchmarkFig5Trace(b *testing.B) {
 func BenchmarkFig7(b *testing.B) {
 	var best float64
 	for i := 0; i < b.N; i++ {
-		points, err := experiment.Fig7(benchOpts())
+		points, err := experiment.Fig7(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func BenchmarkFig7(b *testing.B) {
 func BenchmarkFig8(b *testing.B) {
 	var tput float64
 	for i := 0; i < b.N; i++ {
-		points, err := experiment.Fig8(benchOpts())
+		points, err := experiment.Fig8(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func BenchmarkFig8(b *testing.B) {
 func BenchmarkFig9(b *testing.B) {
 	var gap float64
 	for i := 0; i < b.N; i++ {
-		points, err := experiment.Fig9(benchOpts())
+		points, err := experiment.Fig9(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,7 +142,7 @@ func BenchmarkFig9(b *testing.B) {
 func BenchmarkFig10(b *testing.B) {
 	var improvement float64
 	for i := 0; i < b.N; i++ {
-		points, err := experiment.LANStudy(experiment.Options{
+		points, err := experiment.LANStudy(context.Background(), experiment.Options{
 			Replications: 2,
 			Transfer:     units.MB,
 			BadPeriods:   []time.Duration{800 * time.Millisecond},
@@ -168,7 +169,7 @@ func BenchmarkFig10(b *testing.B) {
 func BenchmarkFig11(b *testing.B) {
 	var basicKB float64
 	for i := 0; i < b.N; i++ {
-		points, err := experiment.LANStudy(experiment.Options{
+		points, err := experiment.LANStudy(context.Background(), experiment.Options{
 			Replications: 2,
 			Transfer:     units.MB,
 			BadPeriods:   []time.Duration{800 * time.Millisecond},

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +35,7 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	advisor, err := experiment.CalibrateAdvisor(experiment.Options{Replications: *reps})
+	advisor, err := experiment.CalibrateAdvisor(context.Background(), experiment.Options{Replications: *reps})
 	if err != nil {
 		return err
 	}

@@ -4,14 +4,25 @@
 //	wtcp-figures -fig 7           # basic TCP throughput vs packet size
 //	wtcp-figures -fig 8 -csv      # EBSN sweep, CSV to stdout
 //	wtcp-figures -fig all -reps 5 # everything the paper reports
+//
+// Long campaigns can checkpoint: with -checkpoint, every finished sweep
+// point is saved (atomic write-rename), SIGINT/SIGTERM stop the run
+// cleanly at the next simulation boundary, and rerunning the same
+// command resumes from the saved points with byte-identical output.
+// Failed replications can be captured as repro bundles (-repro) for
+// wtcp-repro to replay and shrink.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"wtcp/internal/bs"
@@ -19,20 +30,29 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "wtcp-figures:", err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "wtcp-figures: interrupted; checkpointed points are saved, rerun to resume")
+		} else {
+			fmt.Fprintln(os.Stderr, "wtcp-figures:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("wtcp-figures", flag.ContinueOnError)
 	var (
-		fig  = fs.String("fig", "all", "figure to regenerate: 3|4|5|7|8|9|10|11|csdp|congestion|handoff|severity|all")
-		reps = fs.Int("reps", 5, "replications per data point")
-		csv  = fs.Bool("csv", false, "emit CSV instead of tables")
-		out  = fs.String("out", "", "directory to write per-figure CSV files into (implies CSV data)")
-		seed = fs.Int64("seed", 0, "base seed offset")
+		fig        = fs.String("fig", "all", "figure to regenerate: 3|4|5|7|8|9|10|11|csdp|congestion|handoff|severity|all")
+		reps       = fs.Int("reps", 5, "replications per data point")
+		csv        = fs.Bool("csv", false, "emit CSV instead of tables")
+		out        = fs.String("out", "", "directory to write per-figure CSV files into (implies CSV data)")
+		seed       = fs.Int64("seed", 0, "base seed offset")
+		checkpoint = fs.String("checkpoint", "", "checkpoint file: finished sweep points are saved here and an interrupted run resumes from them")
+		workers    = fs.Int("workers", 1, "replications run concurrently per sweep point (results are identical for any value)")
+		reproDir   = fs.String("repro", "", "directory to capture failed replications as wtcp-repro bundles")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,7 +73,13 @@ func run(args []string) error {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		return nil
 	}
-	opt := experiment.Options{Replications: *reps, BaseSeed: *seed}
+	opt := experiment.Options{
+		Replications: *reps,
+		BaseSeed:     *seed,
+		Checkpoint:   *checkpoint,
+		Workers:      *workers,
+		ReproDir:     *reproDir,
+	}
 	want := func(names ...string) bool {
 		if *fig == "all" {
 			return true
@@ -96,7 +122,7 @@ func run(args []string) error {
 
 	if want("7") {
 		did = true
-		points, err := experiment.Fig7(opt)
+		points, err := experiment.Fig7(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -109,7 +135,7 @@ func run(args []string) error {
 	}
 	if want("8") {
 		did = true
-		points, err := experiment.Fig8(opt)
+		points, err := experiment.Fig8(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -122,7 +148,7 @@ func run(args []string) error {
 	}
 	if want("9") {
 		did = true
-		points, err := experiment.Fig9(opt)
+		points, err := experiment.Fig9(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -135,7 +161,7 @@ func run(args []string) error {
 	}
 	if want("10", "11") {
 		did = true
-		points, err := experiment.LANStudy(opt)
+		points, err := experiment.LANStudy(ctx, opt)
 		if err != nil {
 			return err
 		}

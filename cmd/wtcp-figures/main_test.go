@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -37,7 +38,7 @@ func capture(t *testing.T, fn func() error) (string, error) {
 }
 
 func TestFigureTrace(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"-fig", "5"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"-fig", "5"}) })
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -47,7 +48,7 @@ func TestFigureTrace(t *testing.T) {
 }
 
 func TestFigureTraceCSV(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"-fig", "3", "-csv"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"-fig", "3", "-csv"}) })
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -57,7 +58,7 @@ func TestFigureTraceCSV(t *testing.T) {
 }
 
 func TestFigureSweepReducedReps(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"-fig", "7", "-reps", "1"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"-fig", "7", "-reps", "1"}) })
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -67,7 +68,7 @@ func TestFigureSweepReducedReps(t *testing.T) {
 }
 
 func TestFigureHandoff(t *testing.T) {
-	out, err := capture(t, func() error { return run([]string{"-fig", "handoff"}) })
+	out, err := capture(t, func() error { return run(context.Background(), []string{"-fig", "handoff"}) })
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -77,14 +78,14 @@ func TestFigureHandoff(t *testing.T) {
 }
 
 func TestFigureUnknown(t *testing.T) {
-	if _, err := capture(t, func() error { return run([]string{"-fig", "99"}) }); err == nil {
+	if _, err := capture(t, func() error { return run(context.Background(), []string{"-fig", "99"}) }); err == nil {
 		t.Error("unknown figure accepted")
 	}
 }
 
 func TestFigureOutDirectory(t *testing.T) {
 	dir := t.TempDir()
-	_, err := capture(t, func() error { return run([]string{"-fig", "7", "-reps", "1", "-out", dir}) })
+	_, err := capture(t, func() error { return run(context.Background(), []string{"-fig", "7", "-reps", "1", "-out", dir}) })
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}

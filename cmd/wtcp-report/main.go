@@ -6,41 +6,60 @@
 //	wtcp-report > replication.md
 //	wtcp-report -quick          # CI-sized sweeps
 //	wtcp-report -reps 10        # smoother curves
+//	wtcp-report -checkpoint sweep.json -workers 4
 //
 // The command exits non-zero if any checked claim fails to reproduce.
+// SIGINT/SIGTERM stop the suite cleanly at the next simulation boundary;
+// with -checkpoint, rerunning resumes from the finished sweep points.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"wtcp/internal/report"
 )
 
 func main() {
-	code, err := run(os.Args[1:], os.Stdout)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code, err := run(ctx, os.Args[1:], os.Stdout)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wtcp-report:", err)
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "wtcp-report: interrupted; checkpointed points are saved, rerun to resume")
+		} else {
+			fmt.Fprintln(os.Stderr, "wtcp-report:", err)
+		}
 		os.Exit(1)
 	}
 	os.Exit(code)
 }
 
-func run(args []string, out *os.File) (int, error) {
+func run(ctx context.Context, args []string, out *os.File) (int, error) {
 	fs := flag.NewFlagSet("wtcp-report", flag.ContinueOnError)
 	var (
-		reps  = fs.Int("reps", 5, "replications per data point")
-		quick = fs.Bool("quick", false, "CI-sized sweeps (smaller transfers, fewer points)")
-		seed  = fs.Int64("seed", 0, "base seed offset")
+		reps       = fs.Int("reps", 5, "replications per data point")
+		quick      = fs.Bool("quick", false, "CI-sized sweeps (smaller transfers, fewer points)")
+		seed       = fs.Int64("seed", 0, "base seed offset")
+		checkpoint = fs.String("checkpoint", "", "checkpoint file: finished sweep points are saved here and an interrupted run resumes from them")
+		workers    = fs.Int("workers", 1, "replications run concurrently per sweep point (results are identical for any value)")
+		reproDir   = fs.String("repro", "", "directory to capture failed replications as wtcp-repro bundles")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1, err
 	}
-	md, err := report.Generate(report.Options{
+	md, err := report.Generate(ctx, report.Options{
 		Replications: *reps,
 		Quick:        *quick,
 		BaseSeed:     *seed,
+		Checkpoint:   *checkpoint,
+		Workers:      *workers,
+		ReproDir:     *reproDir,
 	})
 	if err != nil {
 		return 1, err

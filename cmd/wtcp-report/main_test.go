@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,7 +14,7 @@ func TestReportQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	code, err := run([]string{"-quick", "-reps", "2"}, f)
+	code, err := run(context.Background(), []string{"-quick", "-reps", "2"}, f)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -36,7 +37,7 @@ func TestReportQuick(t *testing.T) {
 }
 
 func TestReportRejectsBadFlags(t *testing.T) {
-	if _, err := run([]string{"-nonsense"}, os.Stdout); err == nil {
+	if _, err := run(context.Background(), []string{"-nonsense"}, os.Stdout); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }

@@ -1,0 +1,133 @@
+// Command wtcp-repro replays and minimizes failure bundles captured by
+// the experiment engine (wtcp-figures/wtcp-report with -repro, or any
+// caller of internal/repro).
+//
+// A bundle is a self-contained JSON scenario: config, seed, chaos plan,
+// and the failure it produced. Because every simulation is deterministic
+// in (config, seed), replaying the bundle re-derives the failure exactly
+// — on any machine, with no sweep context.
+//
+//	wtcp-repro -bundle repro-wan-basic.json            # replay, report
+//	wtcp-repro -bundle b.json -shrink -out min.json    # minimize first
+//	wtcp-repro -bundle b.json -json                    # machine-readable
+//
+// Exit status: 0 when the bundle's failure reproduces, 2 when it does
+// not (the defect is gone or the bundle is stale), 1 on operational
+// errors. SIGINT/SIGTERM stop the replay at the next event boundary.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"wtcp/internal/repro"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	code, err := run(ctx, os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wtcp-repro:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// result is the -json output shape.
+type result struct {
+	Bundle     string        `json:"bundle"`
+	Origin     string        `json:"origin,omitempty"`
+	WantKind   string        `json:"want_kind"`
+	GotKind    string        `json:"got_kind"`
+	Failure    string        `json:"failure,omitempty"`
+	Reproduced bool          `json:"reproduced"`
+	Shrink     *shrinkResult `json:"shrink,omitempty"`
+}
+
+type shrinkResult struct {
+	Replays  int    `json:"replays"`
+	Accepted int    `json:"accepted"`
+	Out      string `json:"out,omitempty"`
+}
+
+func run(ctx context.Context, args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("wtcp-repro", flag.ContinueOnError)
+	var (
+		bundlePath = fs.String("bundle", "", "bundle file to replay (required)")
+		shrink     = fs.Bool("shrink", false, "minimize the scenario before the final replay")
+		shrinkOut  = fs.String("out", "", "write the minimized bundle here (with -shrink)")
+		replays    = fs.Int("replays", repro.DefaultShrinkReplays, "simulation budget for -shrink")
+		asJSON     = fs.Bool("json", false, "emit the outcome as JSON")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if *bundlePath == "" {
+		return 1, errors.New("-bundle is required")
+	}
+	b, err := repro.Load(*bundlePath)
+	if err != nil {
+		return 1, err
+	}
+	res := result{Bundle: *bundlePath, Origin: b.Origin, WantKind: b.Kind}
+	if !*asJSON {
+		fmt.Fprintf(out, "bundle: %s\n", *bundlePath)
+		if b.Origin != "" {
+			fmt.Fprintf(out, "origin: %s\n", b.Origin)
+		}
+		fmt.Fprintf(out, "captured failure: [%s] %s\n", b.Kind, b.Failure)
+	}
+
+	if *shrink {
+		min, stats, err := repro.Shrink(ctx, b, *replays)
+		if err != nil {
+			return 1, err
+		}
+		res.Shrink = &shrinkResult{Replays: stats.Replays, Accepted: stats.Accepted}
+		if !*asJSON {
+			fmt.Fprintf(out, "shrink: %d replays, %d simplifications kept (transfer %v, horizon %v)\n",
+				stats.Replays, stats.Accepted, min.Config.TransferSize, min.Config.Horizon)
+		}
+		if *shrinkOut != "" {
+			if err := min.Save(*shrinkOut); err != nil {
+				return 1, err
+			}
+			res.Shrink.Out = *shrinkOut
+			if !*asJSON {
+				fmt.Fprintf(out, "wrote minimized bundle to %s\n", *shrinkOut)
+			}
+		}
+		b = min
+	}
+
+	o, err := repro.Replay(ctx, b)
+	if err != nil {
+		return 1, err
+	}
+	res.GotKind = o.Kind
+	res.Failure = o.Failure
+	res.Reproduced = o.Matches(b)
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return 1, err
+		}
+	} else if res.Reproduced {
+		fmt.Fprintf(out, "reproduced: [%s] %s\n", o.Kind, o.Failure)
+	} else {
+		fmt.Fprintf(out, "NOT reproduced: replay finished as [%s], bundle recorded [%s]\n", o.Kind, b.Kind)
+	}
+	if !res.Reproduced {
+		return 2, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/chaos"
+	"wtcp/internal/core"
+	"wtcp/internal/repro"
+	"wtcp/internal/units"
+)
+
+// writeWedgedBundle captures a watchdog failure (forward wired hop dead
+// for the whole horizon) and saves its bundle, returning the path.
+func writeWedgedBundle(t *testing.T) string {
+	t.Helper()
+	cfg := core.WAN(bs.Basic, 576, 2*time.Second)
+	cfg.TransferSize = 30 * units.KB
+	cfg.Stall = 2 * time.Minute
+	cfg.Horizon = 30 * time.Minute
+	cfg.Chaos = &chaos.Config{
+		Blackouts: []chaos.Blackout{
+			{Link: chaos.WiredFwd, At: 0, Length: 4 * time.Hour},
+			{Link: chaos.WirelessUp, At: 5 * time.Second, Length: time.Second}, // removable decoy
+		},
+	}
+	res, err := core.Run(cfg)
+	b := repro.Capture(cfg, res, err)
+	if b == nil {
+		t.Fatal("wedged scenario did not fail")
+	}
+	b.Origin = "test/wedged rep 1"
+	path := filepath.Join(t.TempDir(), "bundle.json")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReplayReproduces(t *testing.T) {
+	path := writeWedgedBundle(t)
+	var out strings.Builder
+	code, err := run(context.Background(), []string{"-bundle", path}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (reproduced)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "reproduced: [watchdog]") {
+		t.Errorf("output missing reproduction verdict:\n%s", out.String())
+	}
+}
+
+func TestShrinkWritesMinimizedBundle(t *testing.T) {
+	path := writeWedgedBundle(t)
+	minPath := filepath.Join(t.TempDir(), "min.json")
+	var out strings.Builder
+	code, err := run(context.Background(),
+		[]string{"-bundle", path, "-shrink", "-replays", "40", "-out", minPath}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\n%s", code, out.String())
+	}
+	min, err := repro.Load(minPath)
+	if err != nil {
+		t.Fatalf("minimized bundle unreadable: %v", err)
+	}
+	orig, err := repro.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(min.Config.Chaos.Blackouts) >= len(orig.Config.Chaos.Blackouts) {
+		t.Errorf("shrink removed no faults: %d vs %d blackouts",
+			len(min.Config.Chaos.Blackouts), len(orig.Config.Chaos.Blackouts))
+	}
+	if min.Config.TransferSize >= orig.Config.TransferSize {
+		t.Errorf("shrink did not reduce the transfer: %v vs %v",
+			min.Config.TransferSize, orig.Config.TransferSize)
+	}
+	// The minimized scenario must still reproduce on its own.
+	o, err := repro.Replay(context.Background(), min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Matches(orig) {
+		t.Errorf("minimized bundle no longer reproduces: %+v", o)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	path := writeWedgedBundle(t)
+	var out strings.Builder
+	code, err := run(context.Background(), []string{"-bundle", path, "-json"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("run: code=%d err=%v\n%s", code, err, out.String())
+	}
+	for _, want := range []string{`"reproduced": true`, `"want_kind": "watchdog"`, `"got_kind": "watchdog"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("JSON output missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestMissingBundleFlag(t *testing.T) {
+	var out strings.Builder
+	if _, err := run(context.Background(), nil, &out); err == nil {
+		t.Error("missing -bundle accepted")
+	}
+}
+
+func TestNotReproducedExitsTwo(t *testing.T) {
+	path := writeWedgedBundle(t)
+	b, err := repro.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heal the scenario: drop the wedging blackout. The recorded failure
+	// must then fail to reproduce.
+	b.Config.Chaos = nil
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	code, err := run(context.Background(), []string{"-bundle", path}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2 (not reproduced)\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "NOT reproduced") {
+		t.Errorf("output missing NOT-reproduced verdict:\n%s", out.String())
+	}
+}

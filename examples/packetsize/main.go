@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -22,7 +23,7 @@ func main() {
 			128, 256, 384, 512, 768, 1024, 1280, 1536,
 		},
 	}
-	points, err := experiment.Fig7(opt)
+	points, err := experiment.Fig7(context.Background(), opt)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/units"
+)
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, WAN(bs.Basic, 576, 2*time.Second))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextDeadlineStopsMidTransfer(t *testing.T) {
+	// A WAN transfer takes tens of simulated seconds — far longer than a
+	// 20 ms wall-clock budget — so the deadline must interrupt it.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	cfg := WAN(bs.EBSN, 576, 2*time.Second)
+	cfg.TransferSize = 10 * units.MB // never finishes in 20 ms of wall clock
+	_, err := RunContext(ctx, cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunContext = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunContextSplitCancels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := WAN(bs.SplitConnection, 576, 2*time.Second)
+	_, err := RunContext(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("split RunContext = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	cfg := WAN(bs.Basic, 576, 2*time.Second)
+	cfg.TransferSize = 20 * units.KB
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary != b.Summary {
+		t.Errorf("RunContext diverged from Run: %+v vs %+v", a.Summary, b.Summary)
+	}
+}

@@ -14,8 +14,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"wtcp/internal/bs"
@@ -318,8 +320,39 @@ type Result struct {
 	SplitWiredDone time.Duration
 }
 
+// PanicError reports a simulation that panicked. RunContext converts the
+// panic to an error so a sweep can retry or skip the replication — and
+// emit a reproduction bundle — instead of crashing the whole campaign.
+type PanicError struct {
+	// Value is the panic value, stringified.
+	Value string
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string { return "core: run panicked: " + e.Value }
+
 // Run executes one simulation and returns its measurements.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the simulation polls
+// ctx at event boundaries and halts cleanly between events once it ends,
+// returning an error that unwraps to ctx.Err(). A panic anywhere inside
+// the run is recovered into a *PanicError instead of taking down the
+// caller.
+func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = nil
+			err = &PanicError{Value: fmt.Sprint(p), Stack: string(debug.Stack())}
+		}
+	}()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -327,13 +360,14 @@ func Run(cfg Config) (*Result, error) {
 		cfg.Horizon = DefaultHorizon
 	}
 	if cfg.Scheme == bs.SplitConnection {
-		return runSplit(cfg)
+		return runSplit(ctx, cfg)
 	}
 
 	tp, err := newTopology(cfg, false)
 	if err != nil {
 		return nil, err
 	}
+	tp.sim.Bind(ctx)
 
 	var tr *trace.Trace
 	var cw *trace.CwndSeries
@@ -363,8 +397,9 @@ func Run(cfg Config) (*Result, error) {
 	if f := tp.sim.Failure(); f != nil {
 		var stall *sim.StallError
 		if !errors.As(f, &stall) {
-			// An invariant violation is a protocol bug, not a network
-			// condition: surface it as a run error.
+			// An invariant violation is a protocol bug and a cancellation
+			// is the caller's deadline, not a network condition: surface
+			// either as a run error (a *CancelError unwraps to ctx.Err()).
 			return nil, f
 		}
 		res := tp.result(cfg)
@@ -375,7 +410,7 @@ func Run(cfg Config) (*Result, error) {
 		return res, nil
 	}
 
-	res := tp.result(cfg)
+	res = tp.result(cfg)
 	res.Trace = tr
 	res.Cwnd = cw
 	return res, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 
 	"wtcp/internal/errmodel"
@@ -30,8 +31,9 @@ import (
 // The wireless-side connection uses segments that fit the wireless MTU,
 // so no fragmentation occurs on the radio — the I-TCP argument for
 // separating the two flow controls.
-func runSplit(cfg Config) (*Result, error) {
+func runSplit(ctx context.Context, cfg Config) (*Result, error) {
 	s := sim.New()
+	s.Bind(ctx)
 	ids := &packet.IDGen{}
 	rng := sim.NewRNG(cfg.Seed)
 

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -30,8 +31,8 @@ type Advisor struct {
 
 // CalibrateAdvisor runs the Figure 7 sweep (basic TCP) for the options'
 // bad periods and packet sizes and records each condition's winner.
-func CalibrateAdvisor(opt Options) (*Advisor, error) {
-	points, err := Fig7(opt)
+func CalibrateAdvisor(ctx context.Context, opt Options) (*Advisor, error) {
+	points, err := Fig7(ctx, opt)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: calibration sweep: %w", err)
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -9,7 +10,7 @@ import (
 )
 
 func TestCalibrateAdvisor(t *testing.T) {
-	a, err := CalibrateAdvisor(quickOpts())
+	a, err := CalibrateAdvisor(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestAdvisorRejectsEmpty(t *testing.T) {
 	if _, err := NewAdvisor(nil); err == nil {
 		t.Error("empty table accepted")
 	}
-	if _, err := CalibrateAdvisor(Options{Replications: 1, PacketSizes: []units.ByteSize{512}, BadPeriods: []time.Duration{time.Second}, Transfer: 10 * units.KB}); err != nil {
+	if _, err := CalibrateAdvisor(context.Background(), Options{Replications: 1, PacketSizes: []units.ByteSize{512}, BadPeriods: []time.Duration{time.Second}, Transfer: 10 * units.KB}); err != nil {
 		t.Errorf("single-point calibration failed: %v", err)
 	}
 }

@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// checkpointVersion guards the on-disk layout; a mismatched file is
+// rejected rather than misread.
+const checkpointVersion = 1
+
+// pointRecord is one finished sweep point: its key and the raw
+// per-replication records, already in seed order.
+type pointRecord struct {
+	Key  string      `json:"key"`
+	Reps []repRecord `json:"reps"`
+}
+
+// checkpointFile is the on-disk layout. Fingerprint ties the file to
+// the Options that produced it: resuming a sweep under different
+// result-affecting options would silently merge incompatible samples,
+// so such a file is rejected with instructions instead.
+type checkpointFile struct {
+	Version     int           `json:"version"`
+	Fingerprint string        `json:"fingerprint"`
+	Points      []pointRecord `json:"points"`
+}
+
+// checkpoint is the in-memory store behind a checkpoint file. Several
+// sweeps in one process (Fig7 then Fig8, say) may each open the same
+// path sequentially; each instance loads what the previous one saved
+// and appends its own points.
+type checkpoint struct {
+	path        string
+	fingerprint string
+
+	mu     sync.Mutex
+	order  []string
+	points map[string][]repRecord
+}
+
+// openCheckpoint loads path if it exists, or prepares an empty store.
+func openCheckpoint(path, fingerprint string) (*checkpoint, error) {
+	ck := &checkpoint{path: path, fingerprint: fingerprint, points: map[string][]repRecord{}}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return ck, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("experiment: read checkpoint: %w", err)
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("experiment: parse checkpoint %s: %w", path, err)
+	}
+	if f.Version != checkpointVersion {
+		return nil, fmt.Errorf("experiment: checkpoint %s has version %d, want %d; delete it to start over",
+			path, f.Version, checkpointVersion)
+	}
+	if f.Fingerprint != fingerprint {
+		return nil, fmt.Errorf("experiment: checkpoint %s was written under different options (fingerprint %q, this run %q); delete it or rerun with the original options",
+			path, f.Fingerprint, fingerprint)
+	}
+	for _, p := range f.Points {
+		if _, dup := ck.points[p.Key]; dup {
+			return nil, fmt.Errorf("experiment: checkpoint %s repeats point %q", path, p.Key)
+		}
+		ck.points[p.Key] = p.Reps
+		ck.order = append(ck.order, p.Key)
+	}
+	return ck, nil
+}
+
+// get returns the stored replications for key, if the point finished in
+// an earlier (or killed) run.
+func (ck *checkpoint) get(key string) ([]repRecord, bool) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	reps, ok := ck.points[key]
+	return reps, ok
+}
+
+// put records a finished point and persists the whole store atomically:
+// the file is fully written to a temp name in the same directory and
+// renamed over the old one, so a kill at any instant leaves either the
+// previous complete checkpoint or the new one — never a torn file.
+func (ck *checkpoint) put(key string, reps []repRecord) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if _, dup := ck.points[key]; !dup {
+		ck.order = append(ck.order, key)
+	}
+	ck.points[key] = reps
+	f := checkpointFile{Version: checkpointVersion, Fingerprint: ck.fingerprint}
+	for _, k := range ck.order {
+		f.Points = append(f.Points, pointRecord{Key: k, Reps: ck.points[k]})
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiment: encode checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(ck.path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiment: checkpoint dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(ck.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("experiment: checkpoint temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiment: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiment: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), ck.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiment: commit checkpoint: %w", err)
+	}
+	return nil
+}

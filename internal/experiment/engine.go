@@ -1,0 +1,244 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+	"sync"
+
+	"wtcp/internal/core"
+	"wtcp/internal/repro"
+)
+
+// This file is the crash-safe experiment engine. A sweep is a sequence
+// of points; each point is Replications independent seeded simulations.
+// The engine:
+//
+//   - runs a point's replications on a bounded worker pool (Workers),
+//     then aggregates the raw per-replication records in seed order, so
+//     any worker count produces bit-identical results to the sequential
+//     runner;
+//   - records every replication's raw measurements as float64 bit
+//     patterns, checkpointing each completed point to disk with an
+//     atomic write-rename (see checkpoint.go), so a killed sweep
+//     resumes from the last finished point with byte-identical output;
+//   - retries a failed replication with a perturbed seed (retrying a
+//     deterministic failure with the same seed can never succeed) and
+//     records the substituted seed in the point's metadata;
+//   - stops cleanly between simulations when ctx ends, without
+//     checkpointing a half-run point;
+//   - captures a repro bundle (internal/repro) for every replication
+//     that exhausts its retries, so the failure can be replayed and
+//     shrunk offline with cmd/wtcp-repro.
+
+// runSim executes one simulation. It is a variable so engine tests can
+// inject failures without constructing a failing scenario.
+var runSim = core.RunContext
+
+// repRecord is one successful replication's raw measurements. Values
+// holds float64 bit patterns (math.Float64bits) in the sweep-defined
+// metric order: unlike decimal JSON floats, bit patterns reload exactly,
+// which is what makes a resumed sweep byte-identical to an uninterrupted
+// one. Seed is the core.Config seed the replication actually ran with —
+// for a retried replication, the perturbed substitute.
+type repRecord struct {
+	Seed   int64    `json:"seed"`
+	Values []uint64 `json:"values"`
+}
+
+// floats decodes the record's measurements.
+func (r repRecord) floats() []float64 {
+	out := make([]float64, len(r.Values))
+	for i, bits := range r.Values {
+		out[i] = math.Float64frombits(bits)
+	}
+	return out
+}
+
+// bitsOf encodes measurements for storage.
+func bitsOf(vs []float64) []uint64 {
+	out := make([]uint64, len(vs))
+	for i, v := range vs {
+		out[i] = math.Float64bits(v)
+	}
+	return out
+}
+
+// seedsOf collects the per-replication seeds for a point's metadata.
+func seedsOf(reps []repRecord) []int64 {
+	out := make([]int64, len(reps))
+	for i, r := range reps {
+		out[i] = r.Seed
+	}
+	return out
+}
+
+// runPoint executes one sweep point: reload it from the checkpoint if
+// already finished, otherwise run its replications on the worker pool,
+// checkpoint the completed point, and report it via OnPoint. extract
+// maps a successful run to the point's metric vector. A replication
+// that still fails after its retries is skipped; runPoint errors only
+// when every replication failed (a point built from zero samples would
+// silently fabricate results) or ctx ended.
+func runPoint(ctx context.Context, opt Options, ck *checkpoint, key string,
+	build func(seed int64) core.Config, extract func(*core.Result) []float64) ([]repRecord, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ck != nil {
+		if reps, ok := ck.get(key); ok {
+			return reps, nil
+		}
+	}
+
+	n := opt.Replications
+	type slot struct {
+		rec repRecord
+		ok  bool
+		err error
+	}
+	slots := make([]slot, n)
+	workers := opt.workers()
+	if workers > n {
+		workers = n
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rec, err := runRep(ctx, opt, key, build, int64(i+1), extract)
+			if err != nil {
+				slots[i] = slot{err: err}
+				return
+			}
+			slots[i] = slot{rec: rec, ok: true}
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// Cancelled mid-point: do not checkpoint a partial point — on
+		// resume it reruns whole, keeping the merged output identical.
+		return nil, err
+	}
+
+	reps := make([]repRecord, 0, n)
+	var firstErr error
+	for _, s := range slots {
+		if s.ok {
+			reps = append(reps, s.rec)
+			continue
+		}
+		if firstErr == nil {
+			firstErr = s.err
+		}
+	}
+	if len(reps) == 0 {
+		if firstErr == nil {
+			firstErr = errors.New("no replications configured")
+		}
+		return nil, fmt.Errorf("experiment: every replication failed: %w", firstErr)
+	}
+	if ck != nil {
+		if err := ck.put(key, reps); err != nil {
+			return nil, err
+		}
+	}
+	if opt.OnPoint != nil {
+		opt.OnPoint(key)
+	}
+	return reps, nil
+}
+
+// runRep executes one replication: the configuration built for seed,
+// re-built with perturbed seeds up to the retry budget when a run
+// errors, panics, or the watchdog aborts it. A replication that
+// exhausts its retries is captured as a repro bundle (when ReproDir is
+// set) before the error is returned.
+func runRep(ctx context.Context, opt Options, key string, build func(seed int64) core.Config,
+	seed int64, extract func(*core.Result) []float64) (repRecord, error) {
+	var lastErr, lastRunErr error
+	var lastCfg core.Config
+	var lastRes *core.Result
+	failed := false
+	for attempt := 0; attempt <= opt.retries(); attempt++ {
+		if err := ctx.Err(); err != nil {
+			return repRecord{}, err
+		}
+		cfg, r, err := runAttempt(ctx, build, seed+int64(attempt)*retrySeedOffset)
+		switch {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return repRecord{}, err
+		case err != nil:
+			lastErr = fmt.Errorf("seed %d: %w", cfg.Seed, err)
+			lastCfg, lastRes, lastRunErr, failed = cfg, nil, err, true
+		case r.Aborted:
+			lastErr = fmt.Errorf("seed %d: watchdog abort: %s", cfg.Seed, firstLine(r.AbortReason))
+			lastCfg, lastRes, lastRunErr, failed = cfg, r, nil, true
+		default:
+			return repRecord{Seed: cfg.Seed, Values: bitsOf(extract(r))}, nil
+		}
+	}
+	if failed {
+		emitBundle(opt, key, seed, lastCfg, lastRes, lastRunErr)
+	}
+	return repRecord{}, lastErr
+}
+
+// runAttempt builds and runs one configuration. A panic in the build
+// function or anywhere under the run is recovered into a *PanicError,
+// so one pathological replication cannot take down a whole campaign.
+func runAttempt(ctx context.Context, build func(seed int64) core.Config, seed int64) (cfg core.Config, res *core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = nil
+			err = &core.PanicError{Value: fmt.Sprint(p), Stack: string(debug.Stack())}
+		}
+	}()
+	cfg = build(seed)
+	res, err = runSim(ctx, cfg)
+	return cfg, res, err
+}
+
+// emitBundle writes a repro bundle for a permanently failed replication.
+// Bundle-write problems are reported to stderr rather than failing the
+// sweep — the replication's own error is the one worth surfacing.
+func emitBundle(opt Options, key string, rep int64, cfg core.Config, res *core.Result, runErr error) {
+	if opt.ReproDir == "" {
+		return
+	}
+	b := repro.Capture(cfg, res, runErr)
+	if b == nil {
+		return
+	}
+	b.Origin = fmt.Sprintf("%s rep %d", key, rep)
+	if err := os.MkdirAll(opt.ReproDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "experiment: repro dir: %v\n", err)
+		return
+	}
+	name := fmt.Sprintf("repro-%s-rep%d.json", sanitizeKey(key), rep)
+	if err := b.Save(filepath.Join(opt.ReproDir, name)); err != nil {
+		fmt.Fprintf(os.Stderr, "experiment: write repro bundle: %v\n", err)
+	}
+}
+
+// sanitizeKey maps a point key to a safe file-name fragment.
+func sanitizeKey(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_', r == '=':
+			return r
+		default:
+			return '-'
+		}
+	}, key)
+}

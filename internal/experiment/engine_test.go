@@ -1,0 +1,221 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wtcp/internal/core"
+	"wtcp/internal/repro"
+	"wtcp/internal/units"
+)
+
+// ckOpts is a small sweep (2 bads x 2 sizes = 4 points) for engine tests.
+func ckOpts() Options {
+	return Options{
+		Replications: 2,
+		Transfer:     20 * units.KB,
+		PacketSizes:  []units.ByteSize{512, 1536},
+		BadPeriods:   []time.Duration{time.Second, 4 * time.Second},
+	}
+}
+
+// TestCheckpointResumeByteIdentical is the tentpole guarantee: a sweep
+// killed after N points and resumed from its checkpoint emits output
+// byte-identical to an uninterrupted run.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	baseline, err := Fig7(context.Background(), ckOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ThroughputCSV(baseline)
+
+	// First run: cancel after two finished points, like a Ctrl-C mid-sweep.
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opt := ckOpts()
+	opt.Checkpoint = path
+	finished := 0
+	opt.OnPoint = func(string) {
+		if finished++; finished == 2 {
+			cancel()
+		}
+	}
+	if _, err := Fig7(ctx, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep returned %v, want context.Canceled", err)
+	}
+	if finished != 2 {
+		t.Fatalf("finished %d points before cancel, want 2", finished)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+
+	// Second run: must reload the two finished points (OnPoint fires only
+	// for fresh ones) and match the uninterrupted output byte for byte.
+	opt = ckOpts()
+	opt.Checkpoint = path
+	fresh := 0
+	opt.OnPoint = func(string) { fresh++ }
+	resumed, err := Fig7(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != 2 {
+		t.Errorf("resumed run computed %d fresh points, want 2 (2 reloaded)", fresh)
+	}
+	if got := ThroughputCSV(resumed); got != want {
+		t.Errorf("resumed output differs from uninterrupted run:\n--- want ---\n%s--- got ---\n%s", want, got)
+	}
+}
+
+// TestCheckpointRejectsChangedOptions: resuming under different
+// result-affecting options must be refused, not silently merged.
+func TestCheckpointRejectsChangedOptions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	opt := ckOpts()
+	opt.Checkpoint = path
+	if _, err := Fig7(context.Background(), opt); err != nil {
+		t.Fatal(err)
+	}
+	opt.Transfer = 30 * units.KB
+	if _, err := Fig7(context.Background(), opt); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("changed options accepted against old checkpoint (err=%v)", err)
+	}
+	// Execution-only options may change freely.
+	opt = ckOpts()
+	opt.Checkpoint = path
+	opt.Workers = 3
+	fresh := 0
+	opt.OnPoint = func(string) { fresh++ }
+	if _, err := Fig7(context.Background(), opt); err != nil {
+		t.Errorf("worker-count change rejected: %v", err)
+	}
+	if fresh != 0 {
+		t.Errorf("full checkpoint reload recomputed %d points", fresh)
+	}
+}
+
+// TestParallelMatchesSequential: the worker pool must be bit-identical
+// to the sequential runner. Run under -race this also exercises the
+// pool for data races.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := ckOpts()
+	seq.Replications = 4
+	sp, err := Fig7(context.Background(), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := seq
+	par.Workers = 4
+	pp, err := Fig7(context.Background(), par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := ThroughputCSV(sp), ThroughputCSV(pp); a != b {
+		t.Errorf("parallel output diverged from sequential:\n--- seq ---\n%s--- par ---\n%s", a, b)
+	}
+	for i := range sp {
+		if len(sp[i].Seeds) != len(pp[i].Seeds) {
+			t.Fatalf("seed metadata length differs at point %d", i)
+		}
+		for j := range sp[i].Seeds {
+			if sp[i].Seeds[j] != pp[i].Seeds[j] {
+				t.Errorf("seed order differs at point %d rep %d: %d vs %d",
+					i, j, sp[i].Seeds[j], pp[i].Seeds[j])
+			}
+		}
+	}
+}
+
+// stubRunSim swaps the engine's simulation runner for fn and restores it
+// when the test ends.
+func stubRunSim(t *testing.T, fn func(ctx context.Context, cfg core.Config) (*core.Result, error)) {
+	t.Helper()
+	orig := runSim
+	runSim = fn
+	t.Cleanup(func() { runSim = orig })
+}
+
+// TestRetryPerturbsAndRecordsSeed: a failed replication must be retried
+// with a perturbed seed, and the substituted seed must appear in the
+// point's metadata instead of the original.
+func TestRetryPerturbsAndRecordsSeed(t *testing.T) {
+	const baseSeed = 100
+	failing := int64(baseSeed + 1) // replication 1's first-attempt seed
+	stubRunSim(t, func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+		if cfg.Seed == failing {
+			return nil, errors.New("synthetic deterministic failure")
+		}
+		r := &core.Result{Completed: true}
+		r.Summary.ThroughputKbps = float64(cfg.Seed) // distinguishable payload
+		r.Summary.Goodput = 1
+		return r, nil
+	})
+	opt := Options{
+		Replications: 2,
+		BaseSeed:     baseSeed,
+		Retries:      1,
+		PacketSizes:  []units.ByteSize{512},
+		BadPeriods:   []time.Duration{time.Second},
+	}
+	points, err := Fig7(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 {
+		t.Fatalf("points = %d, want 1", len(points))
+	}
+	wantSeeds := []int64{failing + retrySeedOffset, baseSeed + 2}
+	if got := points[0].Seeds; len(got) != 2 || got[0] != wantSeeds[0] || got[1] != wantSeeds[1] {
+		t.Errorf("Seeds = %v, want %v (retried rep shows its substituted seed)", got, wantSeeds)
+	}
+	// The sample really came from the perturbed run, not the failed one.
+	if m := points[0].ThroughputKbps.Mean(); m != float64(wantSeeds[0]+wantSeeds[1])/2 {
+		t.Errorf("sample mean %v does not match the substituted-seed runs", m)
+	}
+}
+
+// TestBundleEmittedOnPermanentFailure: a replication that exhausts its
+// retries must leave a replayable bundle in ReproDir.
+func TestBundleEmittedOnPermanentFailure(t *testing.T) {
+	stubRunSim(t, func(ctx context.Context, cfg core.Config) (*core.Result, error) {
+		return nil, errors.New("synthetic permanent failure")
+	})
+	dir := t.TempDir()
+	opt := Options{
+		Replications: 1,
+		Retries:      -1,
+		ReproDir:     dir,
+		PacketSizes:  []units.ByteSize{512},
+		BadPeriods:   []time.Duration{time.Second},
+	}
+	if _, err := Fig7(context.Background(), opt); err == nil {
+		t.Fatal("all-failing sweep succeeded")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no repro bundle written")
+	}
+	b, err := repro.Load(filepath.Join(dir, entries[0].Name()))
+	if err != nil {
+		t.Fatalf("bundle unreadable: %v", err)
+	}
+	if b.Kind != repro.KindError {
+		t.Errorf("bundle kind = %s, want %s", b.Kind, repro.KindError)
+	}
+	if !strings.Contains(b.Origin, "wan/basic") || !strings.Contains(b.Origin, "rep 1") {
+		t.Errorf("bundle origin %q does not identify the point", b.Origin)
+	}
+	if b.Config.Seed == 0 {
+		t.Error("bundle config missing the failing seed")
+	}
+}

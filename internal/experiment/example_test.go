@@ -1,6 +1,7 @@
 package experiment_test
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -12,7 +13,7 @@ import (
 // ExampleFig7 runs a reduced Figure 7 sweep and locates the optimal
 // packet size for a given error condition — the paper's §4.1 proposal.
 func ExampleFig7() {
-	points, err := experiment.Fig7(experiment.Options{
+	points, err := experiment.Fig7(context.Background(), experiment.Options{
 		Replications: 2,
 		Transfer:     40 * units.KB,
 		PacketSizes:  []units.ByteSize{128, 512, 1536},
@@ -35,7 +36,7 @@ func ExampleFig7() {
 // ExampleCalibrateAdvisor builds the base station's §4.1 advisory table
 // and answers a point query.
 func ExampleCalibrateAdvisor() {
-	advisor, err := experiment.CalibrateAdvisor(experiment.Options{
+	advisor, err := experiment.CalibrateAdvisor(context.Background(), experiment.Options{
 		Replications: 2,
 		Transfer:     40 * units.KB,
 		PacketSizes:  []units.ByteSize{256, 512, 1024},

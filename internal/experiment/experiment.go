@@ -13,10 +13,16 @@
 // Each experiment runs independent seeded replications (the paper reports
 // standard deviations below 4%) and returns per-point samples plus the
 // theoretical maximum tput_th the paper marks on its axes.
+//
+// Sweeps run on a crash-safe engine (engine.go): they honour a
+// context.Context, can spread replications over a bounded worker pool
+// without changing any result bit, checkpoint finished points to disk so
+// a killed campaign resumes where it stopped, and capture failed
+// replications as repro bundles for cmd/wtcp-repro.
 package experiment
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -67,6 +73,25 @@ type Options struct {
 	// Checks enables runtime invariant checking inside every run (see
 	// core.Config.Checks). A violation fails the replication.
 	Checks bool
+
+	// Workers bounds how many replications of a point run concurrently
+	// (default 1, i.e. sequential). Results are identical for any worker
+	// count: each replication is an independent single-threaded
+	// simulation, and samples are aggregated in seed order.
+	Workers int
+	// Checkpoint, when non-empty, names a file finished points are saved
+	// to (atomic write-rename) and reloaded from, so an interrupted
+	// sweep resumes from the last completed point. The file embeds a
+	// fingerprint of the result-affecting options; resuming under
+	// different options is refused.
+	Checkpoint string
+	// ReproDir, when non-empty, names a directory where each permanently
+	// failed replication is captured as a repro bundle for cmd/wtcp-repro.
+	ReproDir string
+	// OnPoint, when set, is called with each point's key after the point
+	// is freshly computed (not when reloaded from the checkpoint). Used
+	// for progress reporting and by tests to interrupt a sweep.
+	OnPoint func(key string)
 }
 
 func (o Options) withDefaults() Options {
@@ -97,6 +122,36 @@ func (o Options) lanBadPeriods() []time.Duration {
 	return LANBadPeriods
 }
 
+// workers resolves the worker-pool width.
+func (o Options) workers() int {
+	if o.Workers > 1 {
+		return o.Workers
+	}
+	return 1
+}
+
+// fingerprint digests the result-affecting options. Workers, Checkpoint,
+// ReproDir, and OnPoint are deliberately excluded: they change how a
+// sweep executes, never what it measures, so a checkpoint written with
+// -workers 4 resumes fine under -workers 1.
+func (o Options) fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v%d reps=%d seed=%d transfer=%d retries=%d checks=%v",
+		checkpointVersion, o.Replications, o.BaseSeed, o.Transfer, o.retries(), o.Checks)
+	fmt.Fprintf(&b, " sizes=%v wanBads=%v lanBads=%v",
+		o.packetSizes(), o.wanBadPeriods(), o.lanBadPeriods())
+	return b.String()
+}
+
+// openCheckpoint opens the configured checkpoint store, or nil when
+// checkpointing is off.
+func (o Options) openCheckpoint() (*checkpoint, error) {
+	if o.Checkpoint == "" {
+		return nil, nil
+	}
+	return openCheckpoint(o.Checkpoint, o.fingerprint())
+}
+
 // ThroughputPoint is one (bad period, packet size) cell of Figures 7/8.
 type ThroughputPoint struct {
 	Scheme         bs.Scheme
@@ -108,6 +163,9 @@ type ThroughputPoint struct {
 	Goodput *stats.Sample
 	// TheoreticalMaxKbps is the paper's tput_th for this bad period.
 	TheoreticalMaxKbps float64
+	// Seeds records, in replication order, the seed each contributing run
+	// actually used — a retried replication shows its substituted seed.
+	Seeds []int64
 }
 
 // RetransPoint is one cell of Figure 9 (and the per-scheme halves of
@@ -118,23 +176,34 @@ type RetransPoint struct {
 	PacketSize  units.ByteSize
 	RetransKB   *stats.Sample
 	TimeoutsAvg float64
+	// Seeds records the seed each contributing replication actually used.
+	Seeds []int64
 }
 
 // wanSweep runs the WAN packet-size sweep for one scheme.
-func wanSweep(scheme bs.Scheme, opt Options) ([]ThroughputPoint, error) {
+func wanSweep(ctx context.Context, scheme bs.Scheme, opt Options) ([]ThroughputPoint, error) {
 	opt = opt.withDefaults()
+	ck, err := opt.openCheckpoint()
+	if err != nil {
+		return nil, err
+	}
 	var tps []ThroughputPoint
 	for _, bad := range opt.wanBadPeriods() {
 		for _, size := range opt.packetSizes() {
-			var tput, goodput stats.Sample
-			_, err := runReps(opt, func(seed int64) core.Config {
+			key := fmt.Sprintf("wan/%v/bad=%v/size=%d", scheme, bad, size)
+			reps, err := runPoint(ctx, opt, ck, key, func(seed int64) core.Config {
 				return wanConfig(scheme, size, bad, opt, seed)
-			}, func(r *core.Result) {
-				tput.Add(r.Summary.ThroughputKbps)
-				goodput.Add(r.Summary.Goodput)
+			}, func(r *core.Result) []float64 {
+				return []float64{r.Summary.ThroughputKbps, r.Summary.Goodput}
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%v sweep, bad period %v, packet size %d: %w", scheme, bad, size, err)
+			}
+			var tput, goodput stats.Sample
+			for _, rep := range reps {
+				vs := rep.floats()
+				tput.Add(vs[0])
+				goodput.Add(vs[1])
 			}
 			cfg := core.WAN(scheme, size, bad)
 			tps = append(tps, ThroughputPoint{
@@ -144,6 +213,7 @@ func wanSweep(scheme bs.Scheme, opt Options) ([]ThroughputPoint, error) {
 				ThroughputKbps:     &tput,
 				Goodput:            &goodput,
 				TheoreticalMaxKbps: cfg.TheoreticalMaxKbps(),
+				Seeds:              seedsOf(reps),
 			})
 		}
 	}
@@ -189,54 +259,6 @@ func (o Options) retries() int {
 // instead of replaying the failure.
 const retrySeedOffset = int64(1) << 20
 
-// runOnce executes one replication: the configuration built for seed,
-// re-built with offset seeds up to the retry budget when a run errors or
-// the watchdog aborts it.
-func runOnce(opt Options, build func(seed int64) core.Config, seed int64) (*core.Result, error) {
-	var lastErr error
-	for attempt := 0; attempt <= opt.retries(); attempt++ {
-		cfg := build(seed + int64(attempt)*retrySeedOffset)
-		r, err := core.Run(cfg)
-		switch {
-		case err != nil:
-			lastErr = fmt.Errorf("seed %d: %w", cfg.Seed, err)
-		case r.Aborted:
-			lastErr = fmt.Errorf("seed %d: watchdog abort: %s", cfg.Seed, firstLine(r.AbortReason))
-		default:
-			return r, nil
-		}
-	}
-	return nil, lastErr
-}
-
-// runReps executes the replication loop for one experiment point, feeding
-// each successful result to accumulate. A replication that still fails
-// after its retries is skipped; runReps reports how many replications
-// contributed and errors only when none did (a point built from zero
-// samples would silently fabricate results).
-func runReps(opt Options, build func(seed int64) core.Config, accumulate func(*core.Result)) (int, error) {
-	succeeded := 0
-	var firstErr error
-	for seed := int64(1); seed <= int64(opt.Replications); seed++ {
-		r, err := runOnce(opt, build, seed)
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		accumulate(r)
-		succeeded++
-	}
-	if succeeded == 0 {
-		if firstErr == nil {
-			firstErr = errors.New("no replications configured")
-		}
-		return 0, fmt.Errorf("experiment: every replication failed: %w", firstErr)
-	}
-	return succeeded, nil
-}
-
 // firstLine trims a multi-line diagnostic (a watchdog snapshot) to its
 // summary line for inline error messages.
 func firstLine(s string) string {
@@ -247,36 +269,50 @@ func firstLine(s string) string {
 }
 
 // Fig7 reproduces Figure 7: basic-TCP throughput vs packet size.
-func Fig7(opt Options) ([]ThroughputPoint, error) { return wanSweep(bs.Basic, opt) }
+func Fig7(ctx context.Context, opt Options) ([]ThroughputPoint, error) {
+	return wanSweep(ctx, bs.Basic, opt)
+}
 
 // Fig8 reproduces Figure 8: EBSN throughput vs packet size.
-func Fig8(opt Options) ([]ThroughputPoint, error) { return wanSweep(bs.EBSN, opt) }
+func Fig8(ctx context.Context, opt Options) ([]ThroughputPoint, error) {
+	return wanSweep(ctx, bs.EBSN, opt)
+}
 
 // Fig9 reproduces Figure 9: retransmitted data vs packet size for basic
 // TCP and EBSN.
-func Fig9(opt Options) ([]RetransPoint, error) {
+func Fig9(ctx context.Context, opt Options) ([]RetransPoint, error) {
 	opt = opt.withDefaults()
+	ck, err := opt.openCheckpoint()
+	if err != nil {
+		return nil, err
+	}
 	var out []RetransPoint
 	for _, scheme := range []bs.Scheme{bs.Basic, bs.EBSN} {
 		for _, bad := range opt.wanBadPeriods() {
 			for _, size := range opt.packetSizes() {
-				var retrans stats.Sample
-				var timeouts uint64
-				n, err := runReps(opt, func(seed int64) core.Config {
+				key := fmt.Sprintf("fig9/%v/bad=%v/size=%d", scheme, bad, size)
+				reps, err := runPoint(ctx, opt, ck, key, func(seed int64) core.Config {
 					return wanConfig(scheme, size, bad, opt, seed)
-				}, func(r *core.Result) {
-					retrans.Add(r.Summary.RetransmittedKB())
-					timeouts += r.Summary.Timeouts
+				}, func(r *core.Result) []float64 {
+					return []float64{r.Summary.RetransmittedKB(), float64(r.Summary.Timeouts)}
 				})
 				if err != nil {
 					return nil, fmt.Errorf("fig9 %v, bad period %v, packet size %d: %w", scheme, bad, size, err)
+				}
+				var retrans stats.Sample
+				var timeouts float64
+				for _, rep := range reps {
+					vs := rep.floats()
+					retrans.Add(vs[0])
+					timeouts += vs[1]
 				}
 				out = append(out, RetransPoint{
 					Scheme:      scheme,
 					BadPeriod:   bad,
 					PacketSize:  size,
 					RetransKB:   &retrans,
-					TimeoutsAvg: float64(timeouts) / float64(n),
+					TimeoutsAvg: timeouts / float64(len(reps)),
+					Seeds:       seedsOf(reps),
 				})
 			}
 		}
@@ -292,26 +328,37 @@ type LANPoint struct {
 	RetransKB          *stats.Sample
 	TimeoutsAvg        float64
 	TheoreticalMaxMbps float64
+	// Seeds records the seed each contributing replication actually used.
+	Seeds []int64
 }
 
 // LANStudy reproduces Figures 10 (throughput vs bad period) and 11
 // (retransmitted data vs bad period) in one pass over basic TCP and EBSN.
-func LANStudy(opt Options) ([]LANPoint, error) {
+func LANStudy(ctx context.Context, opt Options) ([]LANPoint, error) {
 	opt = opt.withDefaults()
+	ck, err := opt.openCheckpoint()
+	if err != nil {
+		return nil, err
+	}
 	var out []LANPoint
 	for _, scheme := range []bs.Scheme{bs.Basic, bs.EBSN} {
 		for _, bad := range opt.lanBadPeriods() {
-			var tput, retrans stats.Sample
-			var timeouts uint64
-			n, err := runReps(opt, func(seed int64) core.Config {
+			key := fmt.Sprintf("lan/%v/bad=%v", scheme, bad)
+			reps, err := runPoint(ctx, opt, ck, key, func(seed int64) core.Config {
 				return lanConfig(scheme, bad, opt, seed)
-			}, func(r *core.Result) {
-				tput.Add(r.Summary.ThroughputMbps)
-				retrans.Add(r.Summary.RetransmittedKB())
-				timeouts += r.Summary.Timeouts
+			}, func(r *core.Result) []float64 {
+				return []float64{r.Summary.ThroughputMbps, r.Summary.RetransmittedKB(), float64(r.Summary.Timeouts)}
 			})
 			if err != nil {
 				return nil, fmt.Errorf("lan study %v, bad period %v: %w", scheme, bad, err)
+			}
+			var tput, retrans stats.Sample
+			var timeouts float64
+			for _, rep := range reps {
+				vs := rep.floats()
+				tput.Add(vs[0])
+				retrans.Add(vs[1])
+				timeouts += vs[2]
 			}
 			cfg := core.LAN(scheme, bad)
 			out = append(out, LANPoint{
@@ -319,8 +366,9 @@ func LANStudy(opt Options) ([]LANPoint, error) {
 				BadPeriod:          bad,
 				ThroughputMbps:     &tput,
 				RetransKB:          &retrans,
-				TimeoutsAvg:        float64(timeouts) / float64(n),
+				TimeoutsAvg:        timeouts / float64(len(reps)),
 				TheoreticalMaxMbps: cfg.TheoreticalMaxKbps() / 1000,
+				Seeds:              seedsOf(reps),
 			})
 		}
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -22,7 +23,7 @@ func quickOpts() Options {
 }
 
 func TestFig7ShapeBasicTCP(t *testing.T) {
-	points, err := Fig7(quickOpts())
+	points, err := Fig7(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,11 +66,11 @@ func TestFig7ShapeBasicTCP(t *testing.T) {
 
 func TestFig8EBSNBeatsBasicAndLikesBigPackets(t *testing.T) {
 	opt := quickOpts()
-	basic, err := Fig7(opt)
+	basic, err := Fig7(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ebsn, err := Fig8(opt)
+	ebsn, err := Fig8(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestFig8EBSNBeatsBasicAndLikesBigPackets(t *testing.T) {
 
 func TestFig9RetransmissionsShape(t *testing.T) {
 	opt := quickOpts()
-	points, err := Fig9(opt)
+	points, err := Fig9(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestLANStudyShape(t *testing.T) {
 		Transfer:     units.MB,
 		BadPeriods:   []time.Duration{400 * time.Millisecond, 1600 * time.Millisecond},
 	}
-	points, err := LANStudy(opt)
+	points, err := LANStudy(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestTraceFiguresQualitative(t *testing.T) {
 }
 
 func TestOptimalPacketSize(t *testing.T) {
-	points, err := Fig7(quickOpts())
+	points, err := Fig7(context.Background(), quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestRenderersProduceTablesAndCSV(t *testing.T) {
 		PacketSizes:  []units.ByteSize{512},
 		BadPeriods:   []time.Duration{time.Second},
 	}
-	tp, err := Fig7(opt)
+	tp, err := Fig7(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestRenderersProduceTablesAndCSV(t *testing.T) {
 		t.Errorf("throughput CSV malformed:\n%s", csv)
 	}
 
-	rp, err := Fig9(opt)
+	rp, err := Fig9(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestRenderersProduceTablesAndCSV(t *testing.T) {
 		t.Errorf("retrans CSV malformed:\n%s", rcsv)
 	}
 
-	lp, err := LANStudy(Options{Replications: 2, Transfer: 256 * units.KB, BadPeriods: []time.Duration{800 * time.Millisecond}})
+	lp, err := LANStudy(context.Background(), Options{Replications: 2, Transfer: 256 * units.KB, BadPeriods: []time.Duration{800 * time.Millisecond}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,11 +291,11 @@ func TestFig8GoodputNearOne(t *testing.T) {
 		PacketSizes:  []units.ByteSize{512},
 		BadPeriods:   []time.Duration{4 * time.Second},
 	}
-	ebsnPts, err := Fig8(opt)
+	ebsnPts, err := Fig8(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	basicPts, err := Fig7(opt)
+	basicPts, err := Fig7(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,13 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestGenerateQuickReport(t *testing.T) {
-	md, err := Generate(Options{Replications: 2, Quick: true})
+	md, err := Generate(context.Background(), Options{Replications: 2, Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}

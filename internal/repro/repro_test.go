@@ -1,0 +1,162 @@
+package repro
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/chaos"
+	"wtcp/internal/core"
+	"wtcp/internal/units"
+)
+
+// wedgedConfig leaves the transfer no way to finish: the forward wired
+// hop is dead for the whole horizon, so the watchdog must abort. Extra
+// decoy faults give Shrink something to remove.
+func wedgedConfig() core.Config {
+	cfg := core.WAN(bs.Basic, 576, 2*time.Second)
+	cfg.TransferSize = 30 * units.KB
+	cfg.Stall = 2 * time.Minute
+	cfg.Horizon = 30 * time.Minute
+	cfg.Chaos = &chaos.Config{
+		Blackouts: []chaos.Blackout{
+			{Link: chaos.WiredFwd, At: 0, Length: 4 * time.Hour},
+			{Link: chaos.WirelessUp, At: 5 * time.Second, Length: time.Second}, // decoy
+		},
+		Crashes: []chaos.Crash{{At: 40 * time.Second, Downtime: 2 * time.Second}}, // decoy
+		Notify:  chaos.NotifyFaults{LossProb: 0.25},                               // decoy
+	}
+	return cfg
+}
+
+// captureWedged runs the wedged scenario and captures its bundle.
+func captureWedged(t *testing.T) *Bundle {
+	t.Helper()
+	cfg := wedgedConfig()
+	res, err := core.Run(cfg)
+	b := Capture(cfg, res, err)
+	if b == nil {
+		t.Fatalf("wedged run did not fail (err=%v, res=%+v)", err, res)
+	}
+	if b.Kind != KindWatchdog {
+		t.Fatalf("bundle kind = %s, want %s", b.Kind, KindWatchdog)
+	}
+	return b
+}
+
+func TestCaptureClassifies(t *testing.T) {
+	cfg := core.WAN(bs.Basic, 576, time.Second)
+	if b := Capture(cfg, &core.Result{Completed: true}, nil); b != nil {
+		t.Errorf("clean run captured as %+v", b)
+	}
+	if b := Capture(cfg, nil, context.Canceled); b != nil {
+		t.Errorf("cancellation captured as %+v", b)
+	}
+	if b := Capture(cfg, nil, errors.New("boom")); b == nil || b.Kind != KindError {
+		t.Errorf("plain error captured as %+v", b)
+	}
+	pe := &core.PanicError{Value: "index out of range", Stack: "stack..."}
+	if b := Capture(cfg, nil, pe); b == nil || b.Kind != KindPanic || b.Failure != "index out of range" {
+		t.Errorf("panic captured as %+v", b)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	b := captureWedged(t)
+	b.Origin = "test/wedged rep 1"
+	path := filepath.Join(t.TempDir(), "bundle.json")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != b.Kind || got.Origin != b.Origin || got.Failure != b.Failure {
+		t.Errorf("round trip changed header: %+v vs %+v", got, b)
+	}
+	if got.Config.Seed != b.Config.Seed || got.Config.TransferSize != b.Config.TransferSize {
+		t.Errorf("round trip changed config: %+v vs %+v", got.Config, b.Config)
+	}
+	if len(got.Config.Chaos.Blackouts) != 2 {
+		t.Errorf("chaos plan lost in round trip: %+v", got.Config.Chaos)
+	}
+}
+
+func TestReplayReproducesDeterministically(t *testing.T) {
+	b := captureWedged(t)
+	path := filepath.Join(t.TempDir(), "bundle.json")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two replays of the loaded bundle must both reproduce the original
+	// failure with identical summaries — determinism from the file alone.
+	o1, err := Replay(context.Background(), loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Replay(context.Background(), loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o1.Matches(b) {
+		t.Errorf("replay outcome %+v does not match bundle %s/%s", o1, b.Kind, b.Failure)
+	}
+	if o1 != o2 {
+		t.Errorf("two replays diverged: %+v vs %+v", o1, o2)
+	}
+}
+
+func TestReplayHonorsContext(t *testing.T) {
+	b := captureWedged(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Replay(ctx, b); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Replay = %v, want context.Canceled", err)
+	}
+}
+
+func TestShrinkRemovesDecoysAndKeepsFailure(t *testing.T) {
+	b := captureWedged(t)
+	min, stats, err := Shrink(context.Background(), b, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Replays == 0 || stats.Accepted == 0 {
+		t.Fatalf("shrink did no work: %+v", stats)
+	}
+	// The shrunk scenario must still reproduce the watchdog failure...
+	o, err := Replay(context.Background(), min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Matches(b) {
+		t.Fatalf("shrunk bundle no longer fails the same way: %+v", o)
+	}
+	// ...with the decoy faults gone (only the wedging blackout can be
+	// essential) and a smaller transfer.
+	if min.Config.Chaos == nil || len(min.Config.Chaos.Blackouts) != 1 {
+		t.Errorf("decoy blackout not removed: %+v", min.Config.Chaos)
+	} else if min.Config.Chaos.Blackouts[0].Link != chaos.WiredFwd {
+		t.Errorf("wrong blackout kept: %+v", min.Config.Chaos.Blackouts[0])
+	}
+	if min.Config.Chaos != nil && len(min.Config.Chaos.Crashes) != 0 {
+		t.Errorf("decoy crash not removed: %+v", min.Config.Chaos.Crashes)
+	}
+	if min.Config.Chaos != nil && min.Config.Chaos.Notify != (chaos.NotifyFaults{}) {
+		t.Errorf("decoy notify faults not removed: %+v", min.Config.Chaos.Notify)
+	}
+	if min.Config.TransferSize >= b.Config.TransferSize {
+		t.Errorf("transfer not shrunk: %v >= %v", min.Config.TransferSize, b.Config.TransferSize)
+	}
+	if min.Config.Horizon >= b.Config.Horizon {
+		t.Errorf("horizon not shrunk: %v >= %v", min.Config.Horizon, b.Config.Horizon)
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// This file gives the kernel cooperative cancellation: a context bound
+// with Bind is polled at event boundaries, so a deadline or Ctrl-C stops
+// a simulation cleanly between events — no goroutine is abandoned
+// mid-run and no component observes a half-applied event.
+//
+// Polling happens every ctxPollStride fired events rather than on every
+// event: a context check costs a mutex acquisition, and a run fires
+// millions of events. The stride only affects how promptly a cancelled
+// run notices (within ctxPollStride events, microseconds of real time);
+// it never affects simulation results, because the poll reads no
+// simulation state and a run that is not cancelled executes exactly the
+// event sequence it would have executed unbound.
+const ctxPollStride = 1024
+
+// CancelError reports a run halted because the context bound with Bind
+// ended (cancelled, or past its deadline) before the run condition was
+// met. It unwraps to the context's error, so callers can test
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded.
+type CancelError struct {
+	// At is the virtual time the cancellation was observed.
+	At time.Duration
+	// Err is the bound context's error.
+	Err error
+}
+
+// Error implements error.
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("sim: run canceled at virtual time %v: %v", e.At, e.Err)
+}
+
+// Unwrap exposes the context error.
+func (e *CancelError) Unwrap() error { return e.Err }
+
+// Bind attaches ctx to the simulator: Run and Step poll it at event
+// boundaries and halt with a *CancelError (recorded as the simulator's
+// failure, see Failure) once it ends. A nil ctx detaches.
+func (s *Simulator) Bind(ctx context.Context) {
+	if ctx == context.Background() || ctx == context.TODO() {
+		// Never ends; skip the per-stride poll entirely.
+		ctx = nil
+	}
+	s.ctx = ctx
+}
+
+// cancelled polls the bound context at the poll stride. When the context
+// has ended it records a *CancelError (first failure wins) and stops the
+// run.
+func (s *Simulator) cancelled() bool {
+	if s.ctx == nil || s.fired%ctxPollStride != 0 {
+		return false
+	}
+	err := s.ctx.Err()
+	if err == nil {
+		return false
+	}
+	if s.failure == nil {
+		s.failure = &CancelError{At: s.now, Err: err}
+	}
+	s.stopped = true
+	return true
+}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// chain schedules a self-perpetuating event so the queue never drains.
+func chain(s *Simulator) {
+	var tick func()
+	tick = func() { s.Schedule(time.Millisecond, tick) }
+	s.Schedule(time.Millisecond, tick)
+}
+
+func TestBindCancelHaltsRun(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Bind(ctx)
+	chain(s)
+	fired := 0
+	s.Schedule(0, func() { fired++ })
+	cancel()
+	err := s.Run(time.Hour)
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run = %v, want *CancelError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not unwrap to context.Canceled", err)
+	}
+	if s.Failure() == nil {
+		t.Error("cancellation not recorded as the simulator failure")
+	}
+	// Cancellation was observed before the first event fired (the poll
+	// stride starts at fired=0), so the run stopped at a clean boundary.
+	if fired != 0 {
+		t.Errorf("events fired after pre-cancelled context: %d", fired)
+	}
+}
+
+func TestBindCancelMidRunStopsWithinStride(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Bind(ctx)
+	chain(s)
+	// Cancel from inside the simulation once some events have fired.
+	s.Schedule(10*time.Millisecond, cancel)
+	err := s.Run(time.Hour)
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Run = %v, want *CancelError", err)
+	}
+	if s.Fired() > 16+ctxPollStride {
+		t.Errorf("run fired %d events after cancellation, want within one poll stride", s.Fired())
+	}
+	// The queue still holds the pending chain event: the run stopped
+	// between events, not by tearing state down.
+	if s.Pending() == 0 {
+		t.Error("pending events discarded by cancellation")
+	}
+}
+
+func TestBindCancelStopsStepLoop(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Bind(ctx)
+	chain(s)
+	cancel()
+	if s.Step() {
+		t.Error("Step executed an event after cancellation")
+	}
+	var ce *CancelError
+	if !errors.As(s.Failure(), &ce) {
+		t.Fatalf("Failure = %v, want *CancelError", s.Failure())
+	}
+}
+
+func TestBindBackgroundIsFree(t *testing.T) {
+	s := New()
+	s.Bind(context.Background())
+	if s.ctx != nil {
+		t.Error("background context should detach the poll entirely")
+	}
+	n := 0
+	s.Schedule(time.Second, func() { n++ })
+	if err := s.RunAll(); err != nil || n != 1 {
+		t.Fatalf("RunAll = %v, fired %d", err, n)
+	}
+}
+
+func TestBindDeadlineUnwraps(t *testing.T) {
+	s := New()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	s.Bind(ctx)
+	chain(s)
+	err := s.Run(time.Hour)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Run = %v, want DeadlineExceeded", err)
+	}
+}

@@ -12,6 +12,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -100,6 +101,10 @@ type Simulator struct {
 	checks   []check
 	checksOn bool
 	failure  error
+
+	// ctx, when non-nil, is polled at event boundaries (see context.go);
+	// once it ends the run halts with a *CancelError.
+	ctx context.Context
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -150,10 +155,14 @@ func (s *Simulator) Stop() { s.stopped = true }
 // Run executes events in order until the queue drains, until the virtual
 // clock would pass until (events at exactly until still fire), or until
 // Stop is called. A non-positive until runs the queue to exhaustion.
-// It returns ErrStopped if halted by Stop.
+// It returns ErrStopped if halted by Stop, and the recorded *CancelError
+// if the context bound with Bind ended.
 func (s *Simulator) Run(until time.Duration) error {
 	s.stopped = false
 	for len(s.queue) > 0 {
+		if s.cancelled() {
+			return s.failure
+		}
 		if s.stopped {
 			return ErrStopped
 		}
@@ -179,8 +188,10 @@ func (s *Simulator) Run(until time.Duration) error {
 func (s *Simulator) RunAll() error { return s.Run(0) }
 
 // Step executes exactly one event and reports whether one was available.
+// A step is also refused once the bound context (see Bind) has ended;
+// Failure then reports the *CancelError.
 func (s *Simulator) Step() bool {
-	if len(s.queue) == 0 {
+	if len(s.queue) == 0 || s.cancelled() {
 		return false
 	}
 	next := heap.Pop(&s.queue).(*Event)
