@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check bench figures traces report fuzz fuzz-smoke clean
+.PHONY: all build vet test test-race check bench bench-baseline bench-compare bench-smoke figures traces report fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -22,8 +22,27 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# Full benchmark run; the raw output lands in bench.txt for wtcp-bench.
 bench:
-	$(GO) test -bench=. -benchmem .
+	$(GO) test -run '^$$' -bench=. -benchmem . | tee bench.txt
+
+# Re-record the committed kernel baseline from a full benchmark run.
+# Run on a quiet machine; CI compares against this file.
+bench-baseline: bench
+	$(GO) run ./cmd/wtcp-bench -record -out BENCH_kernel.json -in bench.txt
+
+# Compare a fresh full run against the committed baseline (>20% ns/op
+# slowdown or any allocs/op increase on the kernel micro-benchmarks fails).
+bench-compare: bench
+	$(GO) run ./cmd/wtcp-bench -compare BENCH_kernel.json -in bench.txt
+
+# CI-sized benchmark gate: short benchtime on the substrate
+# micro-benchmarks only (BenchmarkSim*). End-to-end run benchmarks are
+# excluded — shared-runner noise swamps them at short benchtime; the
+# kernel micro-benchmarks are stable enough to gate on.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSim' -benchmem -benchtime=0.2s -count=3 . | tee bench-smoke.txt
+	$(GO) run ./cmd/wtcp-bench -compare BENCH_kernel.json -threshold 0.20 -in bench-smoke.txt
 
 # Regenerate every paper figure at publication fidelity.
 figures:

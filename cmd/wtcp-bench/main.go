@@ -1,0 +1,250 @@
+// Command wtcp-bench turns `go test -bench` output into a committed
+// machine-readable baseline and compares fresh runs against it, so CI can
+// fail on kernel performance regressions without external tooling.
+//
+// Two modes:
+//
+//	wtcp-bench -record -out BENCH_kernel.json < bench.txt
+//	    Parse benchmark lines from stdin (or -in) and write a JSON
+//	    baseline: per-benchmark ns/op, B/op, allocs/op.
+//
+//	wtcp-bench -compare BENCH_kernel.json [-threshold 0.20] < bench.txt
+//	    Parse a fresh run and compare against the baseline. Exits 1 if
+//	    any matched benchmark slowed down by more than the threshold
+//	    fraction in ns/op, or allocated more objects per op than the
+//	    baseline (allocation regressions on the kernel hot path are
+//	    bugs at any size, not just at 20%).
+//
+// By default the comparison considers only the substrate
+// micro-benchmarks (-filter "^BenchmarkSim"): end-to-end run benchmarks
+// mix protocol behaviour into the timing and are too noisy for a smoke
+// gate on shared CI runners. Pass -filter "" to compare everything.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's recorded performance.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Baseline is the file format of BENCH_kernel.json.
+type Baseline struct {
+	// Note documents how to regenerate the file.
+	Note    string   `json:"note"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wtcp-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wtcp-bench", flag.ContinueOnError)
+	var (
+		record    = fs.Bool("record", false, "record a baseline from benchmark output")
+		out       = fs.String("out", "BENCH_kernel.json", "baseline file to write (with -record)")
+		compare   = fs.String("compare", "", "baseline file to compare against")
+		in        = fs.String("in", "", "benchmark output file (default stdin)")
+		threshold = fs.Float64("threshold", 0.20, "allowed ns/op regression fraction (with -compare)")
+		filter    = fs.String("filter", "^BenchmarkSim", "regexp of benchmarks to compare; empty = all")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *record == (*compare != "") {
+		return errors.New("exactly one of -record or -compare is required")
+	}
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	results, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return errors.New("no benchmark lines found in input")
+	}
+
+	if *record {
+		b := Baseline{
+			Note:    "kernel benchmark baseline; regenerate with `make bench-baseline`",
+			Results: results,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d benchmarks to %s\n", len(results), *out)
+		return nil
+	}
+
+	base, err := loadBaseline(*compare)
+	if err != nil {
+		return err
+	}
+	var re *regexp.Regexp
+	if *filter != "" {
+		re, err = regexp.Compile(*filter)
+		if err != nil {
+			return fmt.Errorf("bad -filter: %w", err)
+		}
+	}
+	return compareResults(os.Stdout, base, results, re, *threshold)
+}
+
+func loadBaseline(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]Result, len(b.Results))
+	for _, r := range b.Results {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+// benchLine matches `go test -bench -benchmem` output, e.g.
+//
+//	BenchmarkSimKernel-8   26153130   86.81 ns/op   0 B/op   0 allocs/op
+//
+// Custom metrics between ns/op and B/op are tolerated and ignored.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+func parseBench(r io.Reader) ([]Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	byName := make(map[string][]Result)
+	var order []string
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, err
+		}
+		res := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		for _, field := range strings.Split(strings.TrimSpace(m[4]), "\t") {
+			field = strings.TrimSpace(field)
+			switch {
+			case strings.HasSuffix(field, " B/op"):
+				res.BytesPerOp, _ = strconv.ParseFloat(strings.TrimSuffix(field, " B/op"), 64)
+			case strings.HasSuffix(field, " allocs/op"):
+				res.AllocsPerOp, _ = strconv.ParseFloat(strings.TrimSuffix(field, " allocs/op"), 64)
+			}
+		}
+		if _, seen := byName[res.Name]; !seen {
+			order = append(order, res.Name)
+		}
+		byName[res.Name] = append(byName[res.Name], res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// `-count=N` runs produce repeated lines; keep the minimum ns/op per
+	// name (the least-disturbed run) and the max allocs/op (pessimistic).
+	var out []Result
+	for _, name := range order {
+		runs := byName[name]
+		agg := runs[0]
+		for _, r := range runs[1:] {
+			if r.NsPerOp < agg.NsPerOp {
+				agg.NsPerOp = r.NsPerOp
+				agg.Iterations = r.Iterations
+			}
+			if r.AllocsPerOp > agg.AllocsPerOp {
+				agg.AllocsPerOp = r.AllocsPerOp
+			}
+			if r.BytesPerOp > agg.BytesPerOp {
+				agg.BytesPerOp = r.BytesPerOp
+			}
+		}
+		out = append(out, agg)
+	}
+	return out, nil
+}
+
+func compareResults(w io.Writer, base map[string]Result, fresh []Result, filter *regexp.Regexp, threshold float64) error {
+	var failures []string
+	var compared int
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].Name < fresh[j].Name })
+	for _, r := range fresh {
+		if filter != nil && !filter.MatchString(r.Name) {
+			continue
+		}
+		b, ok := base[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "NEW     %-28s %12.2f ns/op (no baseline)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		compared++
+		delta := (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		status := "ok"
+		if delta > threshold {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.2f ns/op vs baseline %.2f (%+.1f%% > %.0f%% allowed)",
+				r.Name, r.NsPerOp, b.NsPerOp, 100*delta, 100*threshold))
+		}
+		if r.AllocsPerOp > b.AllocsPerOp {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f allocs/op vs baseline %.0f (any increase fails)",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp))
+		}
+		fmt.Fprintf(w, "%-7s %-28s %12.2f ns/op  baseline %12.2f  (%+.1f%%)  %.0f allocs/op\n",
+			status, r.Name, r.NsPerOp, b.NsPerOp, 100*delta, r.AllocsPerOp)
+	}
+	if compared == 0 {
+		return errors.New("no benchmarks matched the baseline and filter; is the input a -bench run?")
+	}
+	if len(failures) > 0 {
+		fmt.Fprintln(w)
+		for _, f := range failures {
+			fmt.Fprintln(w, "regression:", f)
+		}
+		return fmt.Errorf("%d benchmark regression(s)", len(failures))
+	}
+	fmt.Fprintf(w, "all %d compared benchmarks within %.0f%% of baseline\n", compared, 100*threshold)
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: wtcp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimKernel-8     	26153130	        86.81 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSimTimerReset-8 	198126300	        12.16 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWANRun-8        	    1586	   1575676 ns/op	  479734 B/op	    4053 allocs/op
+PASS
+ok  	wtcp	11.662s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	k := results[0]
+	if k.Name != "BenchmarkSimKernel" || k.NsPerOp != 86.81 || k.AllocsPerOp != 0 {
+		t.Fatalf("unexpected first result: %+v", k)
+	}
+	w := results[2]
+	if w.Name != "BenchmarkWANRun" || w.AllocsPerOp != 4053 || w.BytesPerOp != 479734 {
+		t.Fatalf("unexpected WANRun result: %+v", w)
+	}
+}
+
+func TestParseBenchKeepsBestOfRepeats(t *testing.T) {
+	repeated := "BenchmarkSimKernel-8 100 90.0 ns/op\t1 B/op\t1 allocs/op\n" +
+		"BenchmarkSimKernel-8 100 80.0 ns/op\t0 B/op\t0 allocs/op\n"
+	results, err := parseBench(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("parsed %d results, want 1", len(results))
+	}
+	if results[0].NsPerOp != 80.0 {
+		t.Fatalf("ns/op = %v, want min of repeats (80)", results[0].NsPerOp)
+	}
+	if results[0].AllocsPerOp != 1 {
+		t.Fatalf("allocs/op = %v, want max of repeats (1)", results[0].AllocsPerOp)
+	}
+}
+
+func TestCompareFailsOnSlowdown(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkSimKernel": {Name: "BenchmarkSimKernel", NsPerOp: 100},
+	}
+	fresh := []Result{{Name: "BenchmarkSimKernel", NsPerOp: 130}}
+	err := compareResults(&strings.Builder{}, base, fresh, nil, 0.20)
+	if err == nil {
+		t.Fatal("30% slowdown with 20% threshold did not fail")
+	}
+}
+
+func TestCompareFailsOnAllocIncrease(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkSimKernel": {Name: "BenchmarkSimKernel", NsPerOp: 100, AllocsPerOp: 0},
+	}
+	fresh := []Result{{Name: "BenchmarkSimKernel", NsPerOp: 100, AllocsPerOp: 1}}
+	err := compareResults(&strings.Builder{}, base, fresh, nil, 0.20)
+	if err == nil {
+		t.Fatal("allocs/op increase did not fail even within the ns/op threshold")
+	}
+}
+
+func TestComparePassesWithinThreshold(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkSimKernel":     {Name: "BenchmarkSimKernel", NsPerOp: 100},
+		"BenchmarkSimTimerReset": {Name: "BenchmarkSimTimerReset", NsPerOp: 10},
+	}
+	fresh := []Result{
+		{Name: "BenchmarkSimKernel", NsPerOp: 110},
+		{Name: "BenchmarkSimTimerReset", NsPerOp: 9},
+		{Name: "BenchmarkWANRun", NsPerOp: 999999}, // filtered out
+	}
+	filter := regexp.MustCompile("^BenchmarkSim")
+	if err := compareResults(&strings.Builder{}, base, fresh, filter, 0.20); err != nil {
+		t.Fatalf("within-threshold comparison failed: %v", err)
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"wtcp/internal/bs"
 	"wtcp/internal/experiment"
+	"wtcp/internal/prof"
 )
 
 func main() {
@@ -53,10 +54,21 @@ func run(ctx context.Context, args []string) error {
 		checkpoint = fs.String("checkpoint", "", "checkpoint file: finished sweep points are saved here and an interrupted run resumes from them")
 		workers    = fs.Int("workers", 1, "replications run concurrently per sweep point (results are identical for any value)")
 		reproDir   = fs.String("repro", "", "directory to capture failed replications as wtcp-repro bundles")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "wtcp-figures:", err)
+		}
+	}()
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			return err

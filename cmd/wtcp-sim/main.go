@@ -16,6 +16,7 @@ import (
 
 	"wtcp/internal/bs"
 	"wtcp/internal/core"
+	"wtcp/internal/prof"
 	"wtcp/internal/stats"
 	"wtcp/internal/units"
 )
@@ -42,10 +43,21 @@ func run(args []string) error {
 		configPath = fs.String("config", "", "JSON scenario file (overrides the scenario flags)")
 		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON results")
 		checks     = fs.Bool("checks", false, "enable runtime invariant checking (also arms the no-progress watchdog)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "wtcp-sim:", err)
+		}
+	}()
 	scheme, err := bs.ParseScheme(*schemeName)
 	if err != nil {
 		return err

@@ -44,10 +44,18 @@ type arqEngine struct {
 	// packetConn remembers each admitted packet's connection for the
 	// decrement on completion/discard.
 	packetConn map[uint64]int
+	// freeEntries recycles attempt-state records (and their pre-bound
+	// timers) so the per-unit transmit path allocates nothing once warm.
+	freeEntries []*arqEntry
 }
 
-// arqEntry tracks one outstanding (or backing-off) unit.
+// arqEntry tracks one outstanding (or backing-off) unit. Entries are
+// pooled: getEntry/putEntry recycle them, and each entry owns a single
+// timer, pre-bound at creation, that serves both the acknowledgment
+// deadline and the retransmission backoff (backingOff says which phase
+// the entry is in when the timer fires).
 type arqEntry struct {
+	id       uint64 // unit ID currently tracked (guards stale timer fires)
 	unit     *packet.Packet
 	attempts int // transmissions so far
 	timer    *sim.Timer
@@ -76,6 +84,43 @@ func newARQEngine(b *BaseStation, cfg ARQConfig) *arqEngine {
 // wireless hop.
 func (e *arqEngine) backlogPackets() int { return len(e.packetUnits) }
 
+// getEntry takes an attempt-state record from the pool, or builds one
+// with its timer pre-bound to the entry (the closure is allocated once
+// per pooled record, not once per transmission).
+func (e *arqEngine) getEntry() *arqEntry {
+	if n := len(e.freeEntries); n > 0 {
+		en := e.freeEntries[n-1]
+		e.freeEntries = e.freeEntries[:n-1]
+		return en
+	}
+	en := &arqEntry{}
+	en.timer = sim.NewTimer(e.bs.sim, func() { e.timerFired(en) })
+	return en
+}
+
+// putEntry stops the entry's timer and returns it to the pool. Callers
+// must have removed it from outstanding first.
+func (e *arqEngine) putEntry(en *arqEntry) {
+	en.timer.Stop()
+	en.unit = nil
+	e.freeEntries = append(e.freeEntries, en)
+}
+
+// timerFired dispatches the entry's timer: an expiry during backoff is
+// the cue to retransmit, otherwise it is a missed acknowledgment. The
+// identity check drops stale fires (the entry was recycled for another
+// unit while an old callback was in flight).
+func (e *arqEngine) timerFired(en *arqEntry) {
+	if e.outstanding[en.id] != en {
+		return
+	}
+	if en.backingOff {
+		e.retransmit(en.id)
+	} else {
+		e.onAckTimeout(en.id)
+	}
+}
+
 // reset discards all recovery state — a base-station crash. Every pending
 // or in-flight unit and its timers are dropped; the link sequence counter
 // keeps running so post-restart units never reuse a sequence number the
@@ -84,7 +129,7 @@ func (e *arqEngine) backlogPackets() int { return len(e.packetUnits) }
 func (e *arqEngine) reset() int {
 	lost := len(e.packetUnits)
 	for _, en := range e.outstanding {
-		en.timer.Stop()
+		e.putEntry(en)
 	}
 	e.outstanding = make(map[uint64]*arqEntry)
 	e.pendingUnits = nil
@@ -144,10 +189,12 @@ func (e *arqEngine) unitPacketID(u *packet.Packet) uint64 {
 
 // transmit puts a unit on the air and registers its attempt state.
 func (e *arqEngine) transmit(u *packet.Packet, attempt int) {
-	en := &arqEntry{unit: u, attempts: attempt}
-	id := u.ID
-	en.timer = sim.NewTimer(e.bs.sim, func() { e.onAckTimeout(id) })
-	e.outstanding[id] = en
+	en := e.getEntry()
+	en.id = u.ID
+	en.unit = u
+	en.attempts = attempt
+	en.backingOff = false
+	e.outstanding[u.ID] = en
 	e.bs.stats.ARQAttempts++
 	// The ack timer is armed by onTxDone when serialization finishes. If
 	// the link refuses the unit outright (full queue), treat that as an
@@ -171,9 +218,9 @@ func (e *arqEngine) onLinkAck(id uint64) {
 	if !ok {
 		return // stale ack (unit already acked or its packet discarded)
 	}
-	en.timer.Stop()
 	delete(e.outstanding, id)
 	pid := e.unitPacketID(en.unit)
+	e.putEntry(en)
 	if n, ok := e.packetUnits[pid]; ok {
 		if n <= 1 {
 			delete(e.packetUnits, pid)
@@ -233,7 +280,6 @@ func (e *arqEngine) onAckTimeout(id uint64) {
 	// the backoff so other units keep the radio busy.
 	en.backingOff = true
 	backoff := time.Duration(e.bs.rng.Float64() * float64(e.cfg.BackoffMax))
-	en.timer = sim.NewTimer(e.bs.sim, func() { e.retransmit(id) })
 	en.timer.Set(backoff)
 	e.fill()
 }
@@ -246,11 +292,11 @@ func (e *arqEngine) retransmit(id uint64) {
 	}
 	if e.discarded[e.unitPacketID(en.unit)] {
 		delete(e.outstanding, id)
+		e.putEntry(en)
 		return
 	}
 	en.backingOff = false
 	en.attempts++
-	en.timer = sim.NewTimer(e.bs.sim, func() { e.onAckTimeout(id) })
 	e.bs.stats.ARQAttempts++
 	if !e.bs.down.Send(en.unit) {
 		en.timer.Set(0)
@@ -272,8 +318,8 @@ func (e *arqEngine) discardPacket(pid uint64) {
 	}
 	for id, en := range e.outstanding {
 		if e.unitPacketID(en.unit) == pid {
-			en.timer.Stop()
 			delete(e.outstanding, id)
+			e.putEntry(en)
 		}
 	}
 	// Pending units of the packet are skipped lazily in fill().

@@ -344,10 +344,19 @@ func Run(cfg Config) (*Result, error) {
 // the run is recovered into a *PanicError instead of taking down the
 // caller.
 func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
+	// pooled is the simulator to return to the kernel pool when the run
+	// exits normally. A panicked run never releases: the simulator may be
+	// mid-callback with who-knows-what half-applied, and the pool must
+	// only ever hold simulators whose Reset is known safe.
+	var pooled *sim.Simulator
 	defer func() {
 		if p := recover(); p != nil {
 			res = nil
 			err = &PanicError{Value: fmt.Sprint(p), Stack: string(debug.Stack())}
+			return
+		}
+		if pooled != nil {
+			sim.Release(pooled)
 		}
 	}()
 	if ctx == nil {
@@ -360,13 +369,16 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		cfg.Horizon = DefaultHorizon
 	}
 	if cfg.Scheme == bs.SplitConnection {
-		return runSplit(ctx, cfg)
+		s := sim.Acquire()
+		pooled = s
+		return runSplit(ctx, cfg, s)
 	}
 
 	tp, err := newTopology(cfg, false)
 	if err != nil {
 		return nil, err
 	}
+	pooled = tp.sim
 	tp.sim.Bind(ctx)
 
 	var tr *trace.Trace
@@ -389,7 +401,7 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 
 	tp.sender.Start()
 	for !tp.sender.Done() && tp.sim.Now() < cfg.Horizon && tp.sim.Failure() == nil {
-		if !tp.sim.Step() {
+		if ok, err := tp.sim.Step(); !ok || err != nil {
 			break
 		}
 	}
@@ -476,7 +488,11 @@ func (tp *topology) result(cfg Config) *Result {
 // no data available (application workloads grant bytes as they produce
 // them).
 func newTopology(cfg Config, streaming bool) (*topology, error) {
-	s := sim.New()
+	// Acquire from the kernel pool so replication sweeps reuse the event
+	// heap slab and free list instead of regrowing them per run. Runners
+	// release the simulator when they finish (see RunContext, RunWeb,
+	// RunTelnet).
+	s := sim.Acquire()
 	ids := &packet.IDGen{}
 	rng := sim.NewRNG(cfg.Seed)
 

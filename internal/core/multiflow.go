@@ -185,7 +185,7 @@ func RunMultiFlow(cfg MultiFlowConfig) (*MultiFlowResult, error) {
 		return true
 	}
 	for !allDone() && s.Now() < base.Horizon {
-		if !s.Step() {
+		if ok, err := s.Step(); !ok || err != nil {
 			break
 		}
 	}

@@ -31,8 +31,9 @@ import (
 // The wireless-side connection uses segments that fit the wireless MTU,
 // so no fragmentation occurs on the radio — the I-TCP argument for
 // separating the two flow controls.
-func runSplit(ctx context.Context, cfg Config) (*Result, error) {
-	s := sim.New()
+// The simulator is supplied by the caller (RunContext acquires it from
+// the kernel pool and releases it when the run returns).
+func runSplit(ctx context.Context, cfg Config, s *sim.Simulator) (*Result, error) {
 	s.Bind(ctx)
 	ids := &packet.IDGen{}
 	rng := sim.NewRNG(cfg.Seed)
@@ -158,7 +159,7 @@ func runSplit(ctx context.Context, cfg Config) (*Result, error) {
 	fhSender.Start()
 	wsSender.Start()
 	for !wsSender.Done() && s.Now() < cfg.Horizon && s.Failure() == nil {
-		if !s.Step() {
+		if ok, err := s.Step(); !ok || err != nil {
 			break
 		}
 	}

@@ -118,7 +118,7 @@ func RunWeb(cfg Config, web WebWorkload) (*WebResult, error) {
 	tp.sender.Start()
 	startPage()
 	for len(res.PageLoadSec) < web.Pages && tp.sim.Now() < cfg.Horizon {
-		if !tp.sim.Step() {
+		if ok, err := tp.sim.Step(); !ok || err != nil {
 			break
 		}
 	}
@@ -127,6 +127,7 @@ func RunWeb(cfg Config, web WebWorkload) (*WebResult, error) {
 	res.Timeouts = tp.sender.Stats().Timeouts
 	res.EBSNResets = tp.sender.Stats().EBSNResets
 	res.MeanLoadSec, res.P95LoadSec = meanP95(res.PageLoadSec)
+	sim.Release(tp.sim)
 	return res, nil
 }
 
@@ -200,7 +201,7 @@ func RunTelnet(cfg Config, tl TelnetWorkload) (*TelnetResult, error) {
 	tp.sender.Start()
 	produce()
 	for delivered < tl.Keystrokes && tp.sim.Now() < cfg.Horizon {
-		if !tp.sim.Step() {
+		if ok, err := tp.sim.Step(); !ok || err != nil {
 			break
 		}
 	}
@@ -208,6 +209,7 @@ func RunTelnet(cfg Config, tl TelnetWorkload) (*TelnetResult, error) {
 	res.Completed = delivered == tl.Keystrokes
 	res.Timeouts = tp.sender.Stats().Timeouts
 	res.MeanLatency, res.P95Latency = meanP95(res.LatencySec)
+	sim.Release(tp.sim)
 	return res, nil
 }
 

@@ -192,7 +192,7 @@ func Run(cfg Config) (*Result, error) {
 	st.scheduleNextHandoff()
 	st.sender.Start()
 	for !st.sender.Done() && s.Now() < cfg.Horizon {
-		if !s.Step() {
+		if ok, err := s.Step(); !ok || err != nil {
 			break
 		}
 	}

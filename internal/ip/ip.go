@@ -103,7 +103,7 @@ type Stats struct {
 type group struct {
 	have  map[int]bool
 	count int
-	timer *sim.Event
+	timer sim.Event
 	orig  originKey
 }
 

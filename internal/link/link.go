@@ -98,6 +98,21 @@ type Link struct {
 	onTxDone  func(*packet.Packet)
 	intercept func(*packet.Packet) bool
 
+	// The transmitter's event callbacks are pre-bound once (see New) so
+	// the per-packet hot path — one tx-done event and one delivery event
+	// per transmission — schedules no new closures. curP/curStart/curTx
+	// describe the single transmission being serialized (the transmitter
+	// is serial by construction); inflight is the FIFO of packets that
+	// finished serializing and are crossing the propagation delay.
+	// Deliveries are scheduled at strictly nondecreasing times with a
+	// fixed delay, so the FIFO pop order matches the event order.
+	txDoneFn  func()
+	deliverFn func()
+	curP      *packet.Packet
+	curStart  time.Duration
+	curTx     time.Duration
+	inflight  []*packet.Packet
+
 	stats Stats
 }
 
@@ -133,6 +148,8 @@ func New(s *sim.Simulator, cfg Config, rng *sim.RNG, deliver func(*packet.Packet
 		}
 		l.red = red
 	}
+	l.txDoneFn = l.txDone
+	l.deliverFn = l.deliverNext
 	return l, nil
 }
 
@@ -246,39 +263,54 @@ func (l *Link) kick() {
 		return
 	}
 	l.busy = true
-	start := l.sim.Now()
-	tx := l.TxTime(p.Size())
+	l.curP = p
+	l.curStart = l.sim.Now()
+	l.curTx = l.TxTime(p.Size())
 	l.stats.Sent++
 	l.stats.BytesSent += p.Size()
+	l.sim.Schedule(l.curTx, l.txDoneFn)
+}
 
-	l.sim.Schedule(tx, func() {
-		l.busy = false
-		if l.onTxDone != nil {
-			l.onTxDone(p)
+// txDone fires when the current transmission finishes serializing: draw
+// the error channel, hand survivors to the propagation pipe, and start
+// the next transmission.
+func (l *Link) txDone() {
+	p, start, tx := l.curP, l.curStart, l.curTx
+	l.busy = false
+	l.curP = nil
+	if l.onTxDone != nil {
+		l.onTxDone(p)
+	}
+	corrupted := false
+	if l.cfg.Channel != nil {
+		onAirBits := int64(math.Ceil(float64(p.Size().Bits()) * l.cfg.Overhead))
+		mean := l.cfg.Channel.ExpectedBitErrors(start, start+tx, onAirBits)
+		corrupted = l.rng.PoissonAtLeastOne(mean)
+	}
+	if corrupted {
+		l.stats.Corrupted++
+		if l.onDrop != nil {
+			l.onDrop(p)
 		}
-		corrupted := false
-		if l.cfg.Channel != nil {
-			onAirBits := int64(math.Ceil(float64(p.Size().Bits()) * l.cfg.Overhead))
-			mean := l.cfg.Channel.ExpectedBitErrors(start, start+tx, onAirBits)
-			corrupted = l.rng.PoissonAtLeastOne(mean)
-		}
-		if corrupted {
-			l.stats.Corrupted++
-			if l.onDrop != nil {
-				l.onDrop(p)
-			}
-		} else {
-			l.sim.Schedule(l.cfg.Delay, func() {
-				if l.intercept != nil && !l.intercept(p) {
-					return // consumed by the fault injector
-				}
-				l.stats.Delivered++
-				l.stats.BytesDelivered += p.Size()
-				l.deliver(p)
-			})
-		}
-		l.kick()
-	})
+	} else {
+		l.inflight = append(l.inflight, p)
+		l.sim.Schedule(l.cfg.Delay, l.deliverFn)
+	}
+	l.kick()
+}
+
+// deliverNext completes the propagation delay of the oldest in-flight
+// packet and hands it to the receiver.
+func (l *Link) deliverNext() {
+	p := l.inflight[0]
+	copy(l.inflight, l.inflight[1:])
+	l.inflight = l.inflight[:len(l.inflight)-1]
+	if l.intercept != nil && !l.intercept(p) {
+		return // consumed by the fault injector
+	}
+	l.stats.Delivered++
+	l.stats.BytesDelivered += p.Size()
+	l.deliver(p)
 }
 
 // Paper link presets.

@@ -246,7 +246,7 @@ func Run(cfg Config) (*Result, error) {
 		c.sender.Start()
 	}
 	for !e.allDone() && s.Now() < cfg.Horizon {
-		if !s.Step() {
+		if ok, err := s.Step(); !ok || err != nil {
 			break
 		}
 	}

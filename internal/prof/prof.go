@@ -1,0 +1,54 @@
+// Package prof wires the standard runtime/pprof profilers behind the
+// -cpuprofile/-memprofile flags the CLIs expose, so a slow campaign can
+// be profiled in place (`go tool pprof` on the emitted files) without
+// rebuilding anything.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (if non-empty) and returns a
+// stop function that finishes the CPU profile and writes a heap profile
+// to memPath (if non-empty). Either path may be empty; with both empty
+// Start is a no-op and the returned stop does nothing. The stop function
+// must be called exactly once, typically via defer.
+func Start(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+			defer f.Close()
+			// An up-to-date picture of live allocations, not whatever the
+			// last background GC happened to see.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

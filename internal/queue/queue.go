@@ -11,9 +11,17 @@ import (
 // DropTail is a FIFO with a packet-count capacity; packets arriving to a
 // full queue are dropped (tail drop), matching the router model in ns.
 // The zero value is unusable; construct with New.
+//
+// Storage is a power-of-two ring buffer: Push/Pop/PushFront are O(1) and
+// allocation-free once the ring has grown to the working occupancy, which
+// matters because every packet on every link passes through one of these.
 type DropTail struct {
 	limit int
-	buf   []*packet.Packet
+	// ring holds the queued packets at indices head..head+count-1, modulo
+	// len(ring); len(ring) is always a power of two (or zero).
+	ring  []*packet.Packet
+	head  int
+	count int
 	bytes units.ByteSize
 
 	enqueued uint64
@@ -27,54 +35,79 @@ func New(limit int) *DropTail {
 	return &DropTail{limit: limit}
 }
 
+// grow doubles the ring (minimum 8 slots), unwrapping the live window to
+// the front of the new storage.
+func (q *DropTail) grow() {
+	n := len(q.ring) * 2
+	if n == 0 {
+		n = 8
+	}
+	ring := make([]*packet.Packet, n)
+	for i := 0; i < q.count; i++ {
+		ring[i] = q.ring[(q.head+i)&(len(q.ring)-1)]
+	}
+	q.ring = ring
+	q.head = 0
+}
+
 // Push appends p, or drops it and reports false if the queue is full.
 func (q *DropTail) Push(p *packet.Packet) bool {
-	if q.limit > 0 && len(q.buf) >= q.limit {
+	if q.limit > 0 && q.count >= q.limit {
 		q.dropped++
 		return false
 	}
-	q.buf = append(q.buf, p)
+	if q.count == len(q.ring) {
+		q.grow()
+	}
+	q.ring[(q.head+q.count)&(len(q.ring)-1)] = p
+	q.count++
 	q.bytes += p.Size()
 	q.enqueued++
-	if len(q.buf) > q.peak {
-		q.peak = len(q.buf)
+	if q.count > q.peak {
+		q.peak = q.count
 	}
 	return true
 }
 
 // Pop removes and returns the head, or nil if empty.
 func (q *DropTail) Pop() *packet.Packet {
-	if len(q.buf) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	p := q.buf[0]
-	q.buf[0] = nil
-	q.buf = q.buf[1:]
+	p := q.ring[q.head]
+	q.ring[q.head] = nil
+	q.head = (q.head + 1) & (len(q.ring) - 1)
+	q.count--
 	q.bytes -= p.Size()
 	return p
 }
 
 // Peek returns the head without removing it, or nil if empty.
 func (q *DropTail) Peek() *packet.Packet {
-	if len(q.buf) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	return q.buf[0]
+	return q.ring[q.head]
 }
 
 // PushFront reinserts p at the head (used by ARQ when a transmission must
 // be retried ahead of queued traffic). PushFront never drops: requeueing a
 // packet that was already admitted must not lose it.
 func (q *DropTail) PushFront(p *packet.Packet) {
-	q.buf = append([]*packet.Packet{p}, q.buf...)
+	if q.count == len(q.ring) {
+		q.grow()
+	}
+	q.head = (q.head - 1) & (len(q.ring) - 1)
+	q.ring[q.head] = p
+	q.count++
 	q.bytes += p.Size()
-	if len(q.buf) > q.peak {
-		q.peak = len(q.buf)
+	if q.count > q.peak {
+		q.peak = q.count
 	}
 }
 
 // Len reports the number of queued packets.
-func (q *DropTail) Len() int { return len(q.buf) }
+func (q *DropTail) Len() int { return q.count }
 
 // Bytes reports the total queued size.
 func (q *DropTail) Bytes() units.ByteSize { return q.bytes }
@@ -93,8 +126,17 @@ func (q *DropTail) Peak() int { return q.peak }
 
 // Drain empties the queue and returns the packets in order.
 func (q *DropTail) Drain() []*packet.Packet {
-	out := q.buf
-	q.buf = nil
+	if q.count == 0 {
+		return nil
+	}
+	out := make([]*packet.Packet, q.count)
+	for i := 0; i < q.count; i++ {
+		idx := (q.head + i) & (len(q.ring) - 1)
+		out[i] = q.ring[idx]
+		q.ring[idx] = nil
+	}
+	q.head = 0
+	q.count = 0
 	q.bytes = 0
 	return out
 }

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the zero-allocation guarantee of the kernel hot path.
+// testing.AllocsPerRun fails the build the moment someone reintroduces a
+// per-operation allocation (a closure, a boxed heap element, an event
+// struct that escapes the free list) — the regressions the pooled kernel
+// exists to prevent.
+
+// TestScheduleFireZeroAlloc: steady-state schedule→fire cycles must not
+// allocate. The first cycle warms the free list; every later event struct
+// comes back from recycle.
+func TestScheduleFireZeroAlloc(t *testing.T) {
+	s := New()
+	var fn func()
+	fn = func() {}
+	// Warm: grow the heap slab and seed the free list.
+	for i := 0; i < 64; i++ {
+		s.Schedule(time.Duration(i)*time.Microsecond, fn)
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("warmup run: %v", err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.Schedule(time.Microsecond, fn)
+		if err := s.RunAll(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+fire allocated %.1f objects per op, want 0", allocs)
+	}
+}
+
+// TestTimerSetZeroAlloc: re-arming a timer (the EBSN reset path — the
+// hottest cancel+schedule pattern in the codebase) must not allocate.
+func TestTimerSetZeroAlloc(t *testing.T) {
+	s := New()
+	tm := NewTimer(s, func() {})
+	tm.Set(time.Millisecond) // warm: first Set takes the event struct
+	allocs := testing.AllocsPerRun(1000, func() {
+		tm.Set(time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("Timer.Set allocated %.1f objects per op, want 0", allocs)
+	}
+	// Lazy cancellation must not let tombstones accumulate unboundedly:
+	// after 1000+ re-arms the queue holds at most ~compactMin dead events
+	// plus the one live timer.
+	if p := s.Pending(); p != 1 {
+		t.Fatalf("pending live events = %d, want 1", p)
+	}
+	if qlen := s.queue.len(); qlen > 2*compactMin {
+		t.Fatalf("queue holds %d slots after repeated re-arms; compaction is not bounding tombstones", qlen)
+	}
+}
+
+// TestCancelZeroAlloc: tombstoning is O(1) and allocation-free (the
+// amortized compaction sweep recycles in place).
+func TestCancelZeroAlloc(t *testing.T) {
+	s := New()
+	fn := func() {}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev := s.Schedule(time.Second, fn)
+		s.Cancel(ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+cancel allocated %.1f objects per op, want 0", allocs)
+	}
+}

@@ -128,26 +128,35 @@ func (s *Simulator) fail(name string, err error) error {
 func (s *Simulator) Failure() error { return s.failure }
 
 // checkHeap verifies the pending-event heap's structural invariants: every
-// event knows its own index, and every parent orders at or before its
-// children. A violation here is kernel corruption — timers could fire out
-// of order or never.
+// event knows its own slot, every parent orders at or before its four
+// children, nothing is scheduled in the past, and the tombstone count
+// matches the lazily-cancelled events still occupying slots. A violation
+// here is kernel corruption — timers could fire out of order or never.
 func (s *Simulator) checkHeap() error {
-	for i, ev := range s.queue {
+	dead := 0
+	a := s.queue.a
+	for i, ev := range a {
 		if ev == nil {
 			return fmt.Errorf("nil event at heap index %d", i)
 		}
-		if ev.index != i {
-			return fmt.Errorf("event at heap index %d records index %d", i, ev.index)
+		if int(ev.pos) != i {
+			return fmt.Errorf("event at heap index %d records index %d", i, ev.pos)
 		}
 		if ev.at < s.now {
 			return fmt.Errorf("event at heap index %d scheduled at %v, before now (%v)", i, ev.at, s.now)
 		}
-		for _, child := range []int{2*i + 1, 2*i + 2} {
-			if child < len(s.queue) && s.queue.Less(child, i) {
+		if ev.dead {
+			dead++
+		}
+		for child := 4*i + 1; child <= 4*i+4 && child < len(a); child++ {
+			if eventLess(a[child], ev) {
 				return fmt.Errorf("heap order violated between parent %d (t=%v seq=%d) and child %d (t=%v seq=%d)",
-					i, ev.at, ev.seq, child, s.queue[child].at, s.queue[child].seq)
+					i, ev.at, ev.seq, child, a[child].at, a[child].seq)
 			}
 		}
+	}
+	if dead != s.dead {
+		return fmt.Errorf("tombstone count %d does not match %d dead events in the heap", s.dead, dead)
 	}
 	return nil
 }

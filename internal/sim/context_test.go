@@ -68,10 +68,14 @@ func TestBindCancelStopsStepLoop(t *testing.T) {
 	s.Bind(ctx)
 	chain(s)
 	cancel()
-	if s.Step() {
+	ok, err := s.Step()
+	if ok {
 		t.Error("Step executed an event after cancellation")
 	}
 	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Step error = %v, want *CancelError", err)
+	}
 	if !errors.As(s.Failure(), &ce) {
 		t.Fatalf("Failure = %v, want *CancelError", s.Failure())
 	}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// Property test for the determinism contract's core clause: events
+// scheduled for the same virtual instant fire in schedule (FIFO) order,
+// and interleaving cancellations with scheduling — in any pattern — must
+// not perturb the relative order of the survivors. The lazy-cancel heap
+// makes this worth pinning: tombstones sit inside the heap until popped
+// or compacted, and a compaction rebuilds the heap wholesale, so the
+// property holds only because the (at, seq) key is unique and totally
+// ordered. This runs under -race in CI via `make check`.
+
+// TestFIFOWithinInstantUnderCancellation drives randomized rounds: each
+// round schedules a batch of events at one shared instant (interleaved
+// with cancellations of random earlier events, including mid-batch),
+// then verifies the survivors fire exactly in schedule order.
+func TestFIFOWithinInstantUnderCancellation(t *testing.T) {
+	for seed := int64(1); seed <= 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+
+		type rec struct {
+			ev        Event
+			id        int
+			cancelled bool
+		}
+		var scheduled []*rec
+		var fired []int
+		at := time.Duration(1+rng.Intn(10)) * time.Millisecond
+
+		n := 2 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			r := &rec{id: i}
+			r.ev = s.Schedule(at, func() { fired = append(fired, r.id) })
+			scheduled = append(scheduled, r)
+			// Interleave: sometimes cancel a random already-scheduled
+			// event (possibly this one) before the next Schedule, so
+			// cancellation and scheduling mix at the same instant.
+			for rng.Intn(3) == 0 {
+				victim := scheduled[rng.Intn(len(scheduled))]
+				s.Cancel(victim.ev)
+				victim.cancelled = true
+			}
+		}
+		// A second wave at the same instant after the cancels: their seq
+		// numbers are later, so they must fire after every first-wave
+		// survivor.
+		m := rng.Intn(10)
+		for i := 0; i < m; i++ {
+			r := &rec{id: n + i}
+			r.ev = s.Schedule(at, func() { fired = append(fired, r.id) })
+			scheduled = append(scheduled, r)
+		}
+
+		if err := s.RunAll(); err != nil {
+			t.Fatalf("seed %d: run: %v", seed, err)
+		}
+
+		var want []int
+		for _, r := range scheduled {
+			if !r.cancelled {
+				want = append(want, r.id)
+			}
+		}
+		if len(fired) != len(want) {
+			t.Fatalf("seed %d: %d events fired, want %d (cancelled events fired, or survivors lost)",
+				seed, len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i] {
+				t.Fatalf("seed %d: fire order %v, want schedule order %v", seed, fired, want)
+			}
+		}
+	}
+}
+
+// TestFIFOAcrossCompaction forces the compaction sweep (cancelling well
+// past compactMin tombstones) between two waves at the same instant and
+// checks the survivors' order straddles the rebuild untouched.
+func TestFIFOAcrossCompaction(t *testing.T) {
+	s := New()
+	var fired []int
+	at := 5 * time.Millisecond
+
+	var keep []int
+	var evs []Event
+	for i := 0; i < 4*compactMin; i++ {
+		id := i
+		evs = append(evs, s.Schedule(at, func() { fired = append(fired, id) }))
+	}
+	// Cancel three of every four — enough dead weight to trip compact().
+	for i := range evs {
+		if i%4 == 0 {
+			keep = append(keep, i)
+		} else {
+			s.Cancel(evs[i])
+		}
+	}
+	// Post-compaction wave at the same instant.
+	for i := 0; i < 8; i++ {
+		id := len(evs) + i
+		s.Schedule(at, func() { fired = append(fired, id) })
+		keep = append(keep, id)
+	}
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(fired) != len(keep) {
+		t.Fatalf("%d events fired, want %d", len(fired), len(keep))
+	}
+	for i := range keep {
+		if fired[i] != keep[i] {
+			t.Fatalf("fire order diverges at %d: got %d, want %d", i, fired[i], keep[i])
+		}
+	}
+}

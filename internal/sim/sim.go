@@ -8,87 +8,63 @@
 // runs reproducible bit-for-bit for a given seed. Concurrency across
 // *replications* (different seeds) is handled by callers (see
 // internal/stats.RunReplications), never inside one simulation.
+//
+// The hot path is allocation-free in steady state: event structs are
+// recycled through a per-simulator free list, the queue is a monomorphic
+// 4-ary min-heap (see heap.go), and cancellation tombstones events in
+// O(1) instead of restructuring the heap. DESIGN.md §"Kernel data
+// structures" documents the design and the determinism contract it
+// preserves.
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
 	"time"
 )
 
-// ErrStopped is returned by Run when the simulation was halted with Stop
-// before the run condition was met.
+// ErrStopped is returned by Run (and Step) when the simulation was halted
+// with Stop before the run condition was met.
 var ErrStopped = errors.New("sim: stopped")
 
-// Event is a scheduled callback. Events are created by Simulator.Schedule
-// and may be cancelled with Simulator.Cancel until they fire.
+// Event is a handle to a scheduled callback, returned by
+// Simulator.Schedule and accepted by Simulator.Cancel. It is a small
+// value, cheap to copy and store; the zero value is a valid "no event"
+// handle (never pending, cancelling it is a no-op).
+//
+// Handles are generation-checked: once the event fires or is cancelled,
+// the kernel recycles the underlying struct for a future event, and every
+// outstanding handle to it goes stale — Pending reports false and Cancel
+// does nothing, exactly as with a fired event. Callers may therefore keep
+// handles as long as they like without interfering with later events.
 type Event struct {
-	// at is the virtual time the event fires.
-	at time.Duration
-	// seq breaks ties between events scheduled for the same instant:
-	// earlier-scheduled events fire first (FIFO within a timestamp).
-	seq uint64
-	// index is the event's position in the heap, or -1 once it has been
-	// removed (fired or cancelled).
-	index int
-	fn    func()
+	e   *event
+	gen uint64
+	at  time.Duration
 }
 
 // At reports the virtual time at which the event is (or was) scheduled to
 // fire.
-func (e *Event) At() time.Duration { return e.at }
+func (ev Event) At() time.Duration { return ev.at }
 
-// Pending reports whether the event is still queued (not yet fired and not
-// cancelled).
-func (e *Event) Pending() bool { return e != nil && e.index >= 0 }
-
-// eventHeap orders events by (time, sequence).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		// The heap is private to this package; a non-*Event push is a
-		// programming error inside the package itself.
-		return
-	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// Pending reports whether the event is still queued (not yet fired and
+// not cancelled).
+func (ev Event) Pending() bool {
+	return ev.e != nil && ev.e.gen == ev.gen && ev.e.pos >= 0 && !ev.e.dead
 }
 
 // Simulator owns the virtual clock and the pending-event queue. The zero
 // value is ready to use.
 type Simulator struct {
-	now     time.Duration
-	seq     uint64
-	queue   eventHeap
+	now   time.Duration
+	seq   uint64
+	queue eventQueue
+	// dead counts tombstoned (lazily cancelled) events still occupying
+	// heap slots; Pending subtracts it and compact() resets it.
+	dead int
+	// free is the recycled-event list; see heap.go.
+	free    []*event
 	stopped bool
 
 	// fired counts events executed; useful for tests and for detecting
@@ -117,40 +93,86 @@ func (s *Simulator) Now() time.Duration { return s.now }
 // Fired reports how many events have executed so far.
 func (s *Simulator) Fired() uint64 { return s.fired }
 
-// Pending reports how many events are queued.
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending reports how many events are queued (cancelled events do not
+// count, even while their tombstones still occupy heap slots).
+func (s *Simulator) Pending() int { return s.queue.len() - s.dead }
 
 // Schedule queues fn to run after delay of virtual time. A negative delay
 // is treated as zero (fire as soon as possible, after already-queued events
 // at the current instant). The returned Event may be passed to Cancel.
-func (s *Simulator) Schedule(delay time.Duration, fn func()) *Event {
+func (s *Simulator) Schedule(delay time.Duration, fn func()) Event {
 	if delay < 0 {
 		delay = 0
 	}
-	ev := &Event{at: s.now + delay, seq: s.seq, fn: fn}
+	e := s.alloc()
+	e.at = s.now + delay
+	e.seq = s.seq
+	e.fn = fn
 	s.seq++
-	heap.Push(&s.queue, ev)
-	return ev
+	s.queue.push(e)
+	return Event{e: e, gen: e.gen, at: e.at}
 }
 
 // ScheduleAt queues fn at an absolute virtual time. Times in the past are
 // clamped to now.
-func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Event {
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) Event {
 	return s.Schedule(at-s.now, fn)
 }
 
-// Cancel removes a pending event from the queue. Cancelling a nil, fired,
-// or already-cancelled event is a no-op, so callers do not need to track
-// timer state precisely.
-func (s *Simulator) Cancel(ev *Event) {
-	if ev == nil || ev.index < 0 {
+// Cancel removes a pending event from the queue. Cancelling a zero,
+// stale, fired, or already-cancelled handle is a no-op, so callers do not
+// need to track timer state precisely.
+//
+// Cancellation is lazy: the event is tombstoned in place (O(1)) and its
+// heap slot is reclaimed when it surfaces at the root or when compaction
+// sweeps the queue, so cancel-heavy workloads (every EBSN timer reset is
+// a cancel) never pay the O(log n) restructuring of an eager removal.
+func (s *Simulator) Cancel(ev Event) {
+	e := ev.e
+	if e == nil || e.gen != ev.gen || e.pos < 0 || e.dead {
 		return
 	}
-	heap.Remove(&s.queue, ev.index)
+	e.dead = true
+	s.dead++
+	if s.dead > compactMin && s.dead*2 > s.queue.len() {
+		s.compact()
+	}
 }
 
 // Stop halts the currently executing Run after the current event returns.
+// Step also refuses to execute further events until the next Run resets
+// the stop.
 func (s *Simulator) Stop() { s.stopped = true }
+
+// peekLive returns the earliest live event without removing it, dropping
+// and recycling any tombstones that have surfaced at the root. Returns
+// nil when no live events remain.
+func (s *Simulator) peekLive() *event {
+	for s.queue.len() > 0 {
+		root := s.queue.a[0]
+		if !root.dead {
+			return root
+		}
+		s.queue.popMin()
+		s.dead--
+		s.recycle(root)
+	}
+	return nil
+}
+
+// fire pops the (live) root event, advances the clock, recycles the
+// struct, and runs the callback.
+func (s *Simulator) fire(next *event) {
+	s.queue.popMin()
+	s.now = next.at
+	s.fired++
+	fn := next.fn
+	// Recycle before the callback runs: the firing event is no longer
+	// pending, and its struct can be handed straight back to a Schedule
+	// performed inside the callback.
+	s.recycle(next)
+	fn()
+}
 
 // Run executes events in order until the queue drains, until the virtual
 // clock would pass until (events at exactly until still fire), or until
@@ -159,24 +181,24 @@ func (s *Simulator) Stop() { s.stopped = true }
 // if the context bound with Bind ended.
 func (s *Simulator) Run(until time.Duration) error {
 	s.stopped = false
-	for len(s.queue) > 0 {
+	for {
+		next := s.peekLive()
+		if next == nil {
+			break
+		}
 		if s.cancelled() {
 			return s.failure
 		}
 		if s.stopped {
 			return ErrStopped
 		}
-		next := s.queue[0]
 		if until > 0 && next.at > until {
 			// Leave future events queued; advance the clock to the
 			// horizon so Now() reflects the full observation window.
 			s.now = until
 			return nil
 		}
-		heap.Pop(&s.queue)
-		s.now = next.at
-		s.fired++
-		next.fn()
+		s.fire(next)
 	}
 	if until > 0 && s.now < until {
 		s.now = until
@@ -187,21 +209,30 @@ func (s *Simulator) Run(until time.Duration) error {
 // RunAll executes events until the queue drains or Stop is called.
 func (s *Simulator) RunAll() error { return s.Run(0) }
 
-// Step executes exactly one event and reports whether one was available.
-// A step is also refused once the bound context (see Bind) has ended;
-// Failure then reports the *CancelError.
-func (s *Simulator) Step() bool {
-	if len(s.queue) == 0 || s.cancelled() {
-		return false
+// Step executes exactly one event. It reports whether one was executed,
+// and — like Run — surfaces the halt condition as an error: ErrStopped
+// after Stop (or a halted check/watchdog), or the recorded failure (a
+// *CheckError, *StallError, or *CancelError) when one exists. An empty
+// queue is (false, nil): exhaustion is not an error.
+func (s *Simulator) Step() (bool, error) {
+	if s.cancelled() {
+		return false, s.failure
 	}
-	next := heap.Pop(&s.queue).(*Event)
-	s.now = next.at
-	s.fired++
-	next.fn()
-	return true
+	if s.stopped {
+		if s.failure != nil {
+			return false, s.failure
+		}
+		return false, ErrStopped
+	}
+	next := s.peekLive()
+	if next == nil {
+		return false, nil
+	}
+	s.fire(next)
+	return true, nil
 }
 
 // String summarizes the simulator state, for debugging.
 func (s *Simulator) String() string {
-	return fmt.Sprintf("sim(now=%v pending=%d fired=%d)", s.now, len(s.queue), s.fired)
+	return fmt.Sprintf("sim(now=%v pending=%d fired=%d)", s.now, s.Pending(), s.fired)
 }

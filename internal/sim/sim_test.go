@@ -1,11 +1,15 @@
 package sim
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
 	"time"
 )
+
+// errInjected is the sentinel violation used by check-driven tests.
+var errInjected = errors.New("injected violation")
 
 func TestScheduleOrdering(t *testing.T) {
 	s := New()
@@ -90,15 +94,15 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Error("cancelled event fired")
 	}
-	// Double-cancel and nil-cancel are no-ops.
+	// Double-cancel and zero-handle cancel are no-ops.
 	s.Cancel(ev)
-	s.Cancel(nil)
+	s.Cancel(Event{})
 }
 
 func TestCancelMiddleOfQueue(t *testing.T) {
 	s := New()
 	var got []int
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 20; i++ {
 		i := i
 		evs = append(evs, s.Schedule(time.Duration(i)*time.Second, func() { got = append(got, i) }))
@@ -186,14 +190,91 @@ func TestStep(t *testing.T) {
 	s := New()
 	fired := 0
 	s.Schedule(time.Second, func() { fired++ })
-	if !s.Step() {
+	ok, err := s.Step()
+	if err != nil {
+		t.Fatalf("Step: %v", err)
+	}
+	if !ok {
 		t.Fatal("Step returned false with a pending event")
 	}
 	if fired != 1 {
 		t.Errorf("fired = %d, want 1", fired)
 	}
-	if s.Step() {
+	ok, err = s.Step()
+	if err != nil {
+		t.Fatalf("Step on empty queue: %v", err)
+	}
+	if ok {
 		t.Error("Step returned true on empty queue")
+	}
+}
+
+// TestStepHonorsStop verifies the parity between Step and Run: once Stop
+// halts the simulation (directly or via a failed check), Step refuses to
+// execute further events and surfaces the halt as an error, exactly like
+// Run would.
+func TestStepHonorsStop(t *testing.T) {
+	s := New()
+	fired := 0
+	s.Schedule(time.Second, func() { fired++; s.Stop() })
+	s.Schedule(2*time.Second, func() { fired++ })
+	if ok, err := s.Step(); !ok || err != nil {
+		t.Fatalf("first Step = (%v, %v), want (true, nil)", ok, err)
+	}
+	ok, err := s.Step()
+	if ok {
+		t.Fatal("Step executed an event after Stop")
+	}
+	if err != ErrStopped {
+		t.Fatalf("Step after Stop returned %v, want ErrStopped", err)
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d after Stop, want 1", fired)
+	}
+	// Run clears the stop, and Step works again afterwards.
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll after stop: %v", err)
+	}
+	if fired != 2 {
+		t.Errorf("fired = %d after resume, want 2", fired)
+	}
+}
+
+// TestStepSurfacesCheckFailure: a failed invariant check stops the
+// simulator, and Step reports the recorded *CheckError instead of
+// silently executing past it (the bug this test pins down: Step used to
+// skip the stopped check entirely).
+func TestStepSurfacesCheckFailure(t *testing.T) {
+	s := New()
+	bad := false
+	s.AddCheck("bad", func() error {
+		if bad {
+			return errInjected
+		}
+		return nil
+	})
+	s.EnableChecks(time.Second)
+	fired := 0
+	s.Schedule(500*time.Millisecond, func() { fired++; bad = true })
+	s.Schedule(1500*time.Millisecond, func() { fired++ })
+	for {
+		ok, err := s.Step()
+		if err != nil {
+			var ce *CheckError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Step error = %v, want *CheckError", err)
+			}
+			break
+		}
+		if !ok {
+			t.Fatal("queue drained without surfacing the check failure")
+		}
+	}
+	if fired != 1 {
+		t.Errorf("fired = %d events, want 1 (the one before the failed check)", fired)
+	}
+	if s.Failure() == nil {
+		t.Error("Failure() is nil after a failed check")
 	}
 }
 
@@ -257,7 +338,7 @@ func TestPropertyCancelSubset(t *testing.T) {
 	f := func(delays []uint16, mask []bool) bool {
 		s := New()
 		fired := make(map[int]bool)
-		evs := make([]*Event, len(delays))
+		evs := make([]Event, len(delays))
 		for i, d := range delays {
 			i := i
 			evs[i] = s.Schedule(time.Duration(d)*time.Millisecond, func() { fired[i] = true })
@@ -482,7 +563,7 @@ func TestManyEventsStress(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	var last time.Duration
 	ok := true
-	var evs []*Event
+	var evs []Event
 	for i := 0; i < 5000; i++ {
 		d := time.Duration(r.Intn(10000)) * time.Millisecond
 		evs = append(evs, s.Schedule(d, func() {

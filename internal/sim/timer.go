@@ -8,8 +8,12 @@ import "time"
 // Set. The zero value is not usable; create timers with NewTimer.
 type Timer struct {
 	sim *Simulator
-	ev  *Event
+	ev  Event
 	fn  func()
+	// fire is the pre-bound expiry wrapper, allocated once at NewTimer so
+	// re-arming the timer — the exact operation EBSN multiplies, one reset
+	// per failed wireless transmission attempt — schedules no new closure.
+	fire func()
 
 	// sets counts how many times the timer has been (re)armed; exposed for
 	// instrumentation (e.g. counting EBSN-induced timer resets).
@@ -19,23 +23,28 @@ type Timer struct {
 // NewTimer returns a timer that invokes fn on expiry. fn runs in event
 // context (virtual time).
 func NewTimer(s *Simulator, fn func()) *Timer {
-	return &Timer{sim: s, fn: fn}
+	t := &Timer{sim: s, fn: fn}
+	t.fire = func() {
+		t.ev = Event{}
+		t.fn()
+	}
+	return t
 }
 
 // Set arms the timer to fire after d, replacing any pending deadline.
+// Re-arming is allocation-free: the previous deadline is tombstoned in
+// O(1) and the new one reuses a recycled event struct and the pre-bound
+// expiry callback.
 func (t *Timer) Set(d time.Duration) {
 	t.sim.Cancel(t.ev)
 	t.sets++
-	t.ev = t.sim.Schedule(d, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.sim.Schedule(d, t.fire)
 }
 
 // Stop cancels any pending deadline. Stopping an idle timer is a no-op.
 func (t *Timer) Stop() {
 	t.sim.Cancel(t.ev)
-	t.ev = nil
+	t.ev = Event{}
 }
 
 // Pending reports whether the timer is armed.
