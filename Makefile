@@ -2,13 +2,26 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check bench bench-baseline bench-compare bench-smoke figures traces report fuzz fuzz-smoke clean
+.PHONY: all build vet test test-race check conformance goldens bench bench-baseline bench-compare bench-smoke figures traces report fuzz fuzz-smoke clean
 
 all: build vet test
 
 # Pre-PR gate: static analysis plus the full suite under the race
-# detector (the simulator is single-threaded by design; -race proves it).
-check: vet test-race
+# detector (the simulator is single-threaded by design; -race proves it),
+# plus the protocol-conformance gate.
+check: vet test-race conformance
+
+# Conformance gate: the oracle/trace/ARQ suites under -race, then the
+# golden-trace drift check against the committed canonical scenarios.
+conformance:
+	$(GO) test -race ./internal/oracle/... ./internal/trace/... ./internal/bs/...
+	$(GO) run ./cmd/wtcp-conformance -dir cmd/wtcp-conformance/testdata/goldens
+
+# Regenerate the committed golden traces after an intended protocol
+# change. Review the resulting diff like code — every changed line is a
+# changed protocol event.
+goldens:
+	$(GO) run ./cmd/wtcp-conformance -dir cmd/wtcp-conformance/testdata/goldens -update
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,152 @@
+// Command wtcp-conformance is the golden-trace regression gate: it
+// replays a fixed set of canonical scenarios with the conformance oracle
+// armed, renders each run's event trace in the stable golden encoding
+// (internal/trace), and diffs the result against the committed golden
+// files. Any drift — a reordered event, a changed congestion-window
+// value, a shifted timestamp beyond tolerance — fails the gate with the
+// first divergent event.
+//
+// Usage:
+//
+//	wtcp-conformance                 # compare against committed goldens
+//	wtcp-conformance -update         # regenerate the goldens
+//	wtcp-conformance -dir path/to/goldens
+//
+// Regenerate deliberately (make goldens) after a change that is supposed
+// to alter protocol behaviour, and review the golden diff like code.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/core"
+	"wtcp/internal/trace"
+	"wtcp/internal/units"
+)
+
+// scenario is one canonical run. The set spans both paper environments
+// and both instrumentation surfaces: sender-only traces (basic) and the
+// full ARQ/notification stream (local recovery, EBSN).
+type scenario struct {
+	name  string
+	build func() core.Config
+}
+
+// scenarios are replayed in order; each produces <name>.golden.
+var scenarios = []scenario{
+	{"wan-basic", func() core.Config {
+		cfg := core.WAN(bs.Basic, 576, 2*time.Second)
+		cfg.TransferSize = 20 * units.KB
+		return cfg
+	}},
+	{"wan-ebsn", func() core.Config {
+		cfg := core.WAN(bs.EBSN, 576, 2*time.Second)
+		cfg.TransferSize = 20 * units.KB
+		return cfg
+	}},
+	{"lan-local", func() core.Config {
+		cfg := core.LAN(bs.LocalRecovery, 800*time.Millisecond)
+		cfg.TransferSize = 128 * units.KB
+		return cfg
+	}},
+	{"lan-ebsn", func() core.Config {
+		cfg := core.LAN(bs.EBSN, 800*time.Millisecond)
+		cfg.TransferSize = 128 * units.KB
+		return cfg
+	}},
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wtcp-conformance:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wtcp-conformance", flag.ContinueOnError)
+	var (
+		dir    = fs.String("dir", "testdata/goldens", "golden directory (make goldens passes the repo-rooted path)")
+		update = fs.Bool("update", false, "rewrite the goldens from fresh runs instead of comparing")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *update {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			return err
+		}
+	}
+	failed := 0
+	for _, sc := range scenarios {
+		if err := runScenario(sc, *dir, *update); err != nil {
+			var drift *driftError
+			if !errors.As(err, &drift) {
+				return fmt.Errorf("%s: %w", sc.name, err)
+			}
+			fmt.Fprintf(os.Stderr, "%s: %v\n", sc.name, err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios drifted from their goldens (rerun with -update if the change is intended, and review the golden diff)", failed, len(scenarios))
+	}
+	return nil
+}
+
+// driftError marks a golden mismatch (as opposed to a run or IO failure),
+// so the gate reports every drifted scenario before failing.
+type driftError struct{ msg string }
+
+func (e *driftError) Error() string { return e.msg }
+
+// runScenario replays one scenario and updates or checks its golden.
+func runScenario(sc scenario, dir string, update bool) error {
+	cfg := sc.build()
+	cfg.CollectTrace = true
+	cfg.Oracle = true // goldens must be born conformant
+	res, err := core.Run(cfg)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	if !res.Completed {
+		return fmt.Errorf("transfer did not complete (horizon %v)", cfg.Horizon)
+	}
+	encoded := res.Trace.Encode()
+	path := filepath.Join(dir, sc.name+".golden")
+
+	if update {
+		if err := os.WriteFile(path, []byte(encoded), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d events)\n", path, res.Trace.Count(trace.Send)+res.Trace.Count(trace.Retransmit))
+		return nil
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("missing golden (run with -update to create it): %w", err)
+	}
+	if string(want) == encoded {
+		fmt.Printf("%s: ok\n", sc.name)
+		return nil
+	}
+	// The bytes drifted; decode both sides for an event-level diff. The
+	// fresh events are normalized to the encoding's microsecond grid so
+	// the comparison sees real divergence, not rounding.
+	_, wantEvents, derr := trace.DecodeEvents(string(want))
+	if derr != nil {
+		return &driftError{fmt.Sprintf("golden is unreadable (%v); regenerate with -update", derr)}
+	}
+	got := trace.NormalizeEvents(res.Trace.Events())
+	if d := trace.DiffEvents(wantEvents, got, 0); d != nil {
+		return &driftError{fmt.Sprintf("trace drifted: %v (golden has %d events, run has %d)", d, len(wantEvents), len(got))}
+	}
+	return &driftError{"encoding drifted with no event-level divergence (header or formatting change); regenerate with -update"}
+}

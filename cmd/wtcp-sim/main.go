@@ -43,6 +43,7 @@ func run(args []string) error {
 		configPath = fs.String("config", "", "JSON scenario file (overrides the scenario flags)")
 		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON results")
 		checks     = fs.Bool("checks", false, "enable runtime invariant checking (also arms the no-progress watchdog)")
+		strict     = fs.Bool("strict", false, "arm the protocol-conformance oracle: abort the run on the first Tahoe/ARQ/EBSN rule violation, naming the rule and event")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -94,6 +95,9 @@ func run(args []string) error {
 		}
 		if *checks {
 			cfg.Checks = true
+		}
+		if *strict {
+			cfg.Oracle = true
 		}
 		return cfg
 	}

@@ -40,6 +40,18 @@ func TestRunBasicScenario(t *testing.T) {
 	}
 }
 
+func TestRunStrictMode(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"-strict", "-scheme", "ebsn", "-packet", "576", "-bad", "2s", "-transfer", "30"})
+	})
+	if err != nil {
+		t.Fatalf("strict run: %v", err)
+	}
+	if !strings.Contains(out, "throughput") {
+		t.Errorf("strict run produced no summary:\n%s", out)
+	}
+}
+
 func TestRunLANPreset(t *testing.T) {
 	out, err := capture(t, func() error {
 		return run([]string{"-lan", "-scheme", "basic", "-bad", "800ms", "-transfer", "512"})

@@ -196,6 +196,9 @@ func (e *arqEngine) transmit(u *packet.Packet, attempt int) {
 	en.backingOff = false
 	e.outstanding[u.ID] = en
 	e.bs.stats.ARQAttempts++
+	if e.bs.hooks.OnARQAttempt != nil {
+		e.bs.hooks.OnARQAttempt(u.ID, e.unitPacketID(u), attempt)
+	}
 	// The ack timer is armed by onTxDone when serialization finishes. If
 	// the link refuses the unit outright (full queue), treat that as an
 	// immediate unsuccessful attempt.
@@ -220,6 +223,9 @@ func (e *arqEngine) onLinkAck(id uint64) {
 	}
 	delete(e.outstanding, id)
 	pid := e.unitPacketID(en.unit)
+	if e.bs.hooks.OnARQAck != nil {
+		e.bs.hooks.OnARQAck(id, pid)
+	}
 	e.putEntry(en)
 	if n, ok := e.packetUnits[pid]; ok {
 		if n <= 1 {
@@ -266,6 +272,9 @@ func (e *arqEngine) onAckTimeout(id uint64) {
 		return
 	}
 	e.bs.stats.ARQTimeouts++
+	if e.bs.hooks.OnARQFailure != nil {
+		e.bs.hooks.OnARQFailure(id, e.unitPacketID(en.unit), en.attempts)
+	}
 	// Notify every source whose data the hop is holding up — with one
 	// connection this is exactly the paper's "notify the source"; with
 	// several, bystanders queued behind the failure need the timer push
@@ -298,6 +307,9 @@ func (e *arqEngine) retransmit(id uint64) {
 	en.backingOff = false
 	en.attempts++
 	e.bs.stats.ARQAttempts++
+	if e.bs.hooks.OnARQAttempt != nil {
+		e.bs.hooks.OnARQAttempt(id, e.unitPacketID(en.unit), en.attempts)
+	}
 	if !e.bs.down.Send(en.unit) {
 		en.timer.Set(0)
 	}
@@ -306,6 +318,9 @@ func (e *arqEngine) retransmit(id uint64) {
 // discardPacket withdraws every unit of the given network packet.
 func (e *arqEngine) discardPacket(pid uint64) {
 	e.bs.stats.ARQDiscards++
+	if e.bs.hooks.OnARQDiscard != nil {
+		e.bs.hooks.OnARQDiscard(pid)
+	}
 	e.discarded[pid] = true
 	if n, ok := e.packetUnits[pid]; ok {
 		conn := e.packetConn[pid]

@@ -227,6 +227,28 @@ type Stats struct {
 	CrashDiscards    uint64
 }
 
+// Hooks are optional base-station observation points; any field may be
+// nil. They exist for the conformance tracer and for tests, and must not
+// mutate station state. All fire synchronously inside the transition they
+// describe.
+type Hooks struct {
+	// OnARQAttempt fires when a link unit is put on the air (first tries
+	// and retries). unit is the unit's packet ID, pkt the network packet it
+	// belongs to, attempt the 1-based transmission count.
+	OnARQAttempt func(unit, pkt uint64, attempt int)
+	// OnARQFailure fires when an attempt's acknowledgment timer expires —
+	// the "unsuccessful attempt" that triggers source notification.
+	OnARQFailure func(unit, pkt uint64, attempt int)
+	// OnARQAck fires when a link-level acknowledgment completes a unit.
+	OnARQAck func(unit, pkt uint64)
+	// OnARQDiscard fires when a whole network packet is withdrawn after
+	// RTmax retransmissions.
+	OnARQDiscard func(pkt uint64)
+	// OnNotify fires for every control message emitted toward a source
+	// (packet.EBSN or packet.SourceQuench).
+	OnNotify func(kind packet.Kind, conn int)
+}
+
 // BaseStation is the gateway agent. Create with New, then deliver packets
 // arriving from the wired side via FromWired and from the wireless side
 // via FromWireless.
@@ -245,6 +267,8 @@ type BaseStation struct {
 
 	// failuresSinceNotify implements Config.NotifyEvery.
 	failuresSinceNotify int
+
+	hooks Hooks
 
 	// downed marks the station as crashed: all traffic is dropped at its
 	// doors until Restart.
@@ -306,6 +330,9 @@ func New(s *sim.Simulator, cfg Config, ids *packet.IDGen, rng *sim.RNG, down *li
 
 // Stats returns a copy of the counters.
 func (b *BaseStation) Stats() Stats { return b.stats }
+
+// SetHooks installs observation callbacks. Call before traffic flows.
+func (b *BaseStation) SetHooks(h Hooks) { b.hooks = h }
 
 // Scheme reports the configured scheme.
 func (b *BaseStation) Scheme() Scheme { return b.cfg.Scheme }
@@ -452,6 +479,9 @@ func (b *BaseStation) emitNotification(conn int) {
 	switch b.cfg.Scheme {
 	case EBSN:
 		b.stats.EBSNsSent++
+		if b.hooks.OnNotify != nil {
+			b.hooks.OnNotify(packet.EBSN, conn)
+		}
 		b.toWired(&packet.Packet{
 			ID:     b.ids.Next(),
 			Kind:   packet.EBSN,
@@ -460,6 +490,9 @@ func (b *BaseStation) emitNotification(conn int) {
 		})
 	case SourceQuench:
 		b.stats.QuenchesSent++
+		if b.hooks.OnNotify != nil {
+			b.hooks.OnNotify(packet.SourceQuench, conn)
+		}
 		b.toWired(&packet.Packet{
 			ID:     b.ids.Next(),
 			Kind:   packet.SourceQuench,

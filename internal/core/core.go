@@ -26,6 +26,7 @@ import (
 	"wtcp/internal/link"
 	"wtcp/internal/metrics"
 	"wtcp/internal/node"
+	"wtcp/internal/oracle"
 	"wtcp/internal/packet"
 	"wtcp/internal/queue"
 	"wtcp/internal/sim"
@@ -134,6 +135,14 @@ type Config struct {
 	Horizon time.Duration
 	// CollectTrace records the Figure 3-5 packet trace.
 	CollectTrace bool
+	// Oracle enables the streaming conformance checker: every trace event
+	// is validated against the Tahoe sender state machine, the link-layer
+	// ARQ contract, and the EBSN/quench notification rules as the run
+	// executes (see internal/oracle). A violation halts the run and is
+	// returned as the run error, naming the broken rule and the event
+	// index. Orthogonal to CollectTrace: the oracle taps the event stream
+	// without retaining it.
+	Oracle bool
 }
 
 // DefaultHorizon bounds a run that fails to complete (e.g. a pathological
@@ -256,6 +265,11 @@ func (c Config) Validate() error {
 		// relays rather than forwards, so the fault plan's link names do
 		// not mean the same thing there.
 		return errors.New("core: fault injection is not supported for split-connection runs")
+	}
+	if c.Scheme == bs.SplitConnection && c.Oracle {
+		// The split topology runs two senders; the oracle shadows exactly
+		// one connection's state machine.
+		return errors.New("core: the conformance oracle is not supported for split-connection runs")
 	}
 	return c.Channel.Validate()
 }
@@ -383,12 +397,17 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 
 	var tr *trace.Trace
 	var cw *trace.CwndSeries
-	if cfg.CollectTrace {
+	if cfg.CollectTrace || cfg.Oracle {
 		tr = trace.New(cfg.MSS())
-		cw = trace.NewCwndSeries()
 		hooks := tr.Hooks(tp.sim.Now)
-		hooks.OnCwnd = cw.Hook(tp.sim.Now)
+		if cfg.CollectTrace {
+			cw = trace.NewCwndSeries()
+			hooks.OnCwnd = cw.Hook(tp.sim.Now)
+		}
 		tp.sender.SetHooks(hooks)
+		if cfg.Oracle {
+			tp.attachOracle(cfg, tr)
+		}
 	}
 
 	if cfg.Checks {
@@ -417,14 +436,18 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 		res := tp.result(cfg)
 		res.Aborted = true
 		res.AbortReason = stall.Error()
-		res.Trace = tr
-		res.Cwnd = cw
+		if cfg.CollectTrace {
+			res.Trace = tr
+			res.Cwnd = cw
+		}
 		return res, nil
 	}
 
 	res = tp.result(cfg)
-	res.Trace = tr
-	res.Cwnd = cw
+	if cfg.CollectTrace {
+		res.Trace = tr
+		res.Cwnd = cw
+	}
 	return res, nil
 }
 
@@ -457,7 +480,48 @@ type topology struct {
 	wiredFwd, wiredRev       *link.Link
 	wirelessDown, wirelessUp *link.Link
 
+	// arq is the resolved ARQ configuration (defaults applied), kept so
+	// the conformance oracle can mirror the base station's attempt cap.
+	arq bs.ARQConfig
+
 	chaos *chaos.Injector
+}
+
+// attachOracle subscribes a conformance checker to the trace's event
+// stream and wires the base-station and mobile-host instrumentation that
+// feeds it. The first violation halts the run through the simulator's
+// failure channel, exactly like a periodic invariant check.
+func (tp *topology) attachOracle(cfg Config, tr *trace.Trace) {
+	checker := oracle.New(oracle.Config{
+		Variant: cfg.Variant,
+		MSS:     cfg.MSS(),
+		Window:  cfg.Window,
+		RTmax:   tp.arq.RTmax,
+		// The run has a single connection, so notification counting is
+		// exact: every EBSN reset at the source must be backed by an
+		// emitted notification, and every notification by a link failure.
+		TrackNotifications: true,
+	})
+	tp.bs.SetHooks(tr.BSHooks(tp.sim.Now))
+	tp.mobile.SetSequencedHook(tr.MobileHook(tp.sim.Now))
+	tr.SetObserver(func(idx int, e trace.Event) {
+		if v := checker.Observe(idx, e); v != nil {
+			tp.sim.Fail("oracle", v)
+		}
+	})
+}
+
+// armOracle attaches the conformance checker for runners that do not
+// otherwise build a trace (the application-workload paths): a throwaway
+// trace is created purely as the oracle's event tap. No-op when
+// cfg.Oracle is unset.
+func (tp *topology) armOracle(cfg Config) {
+	if !cfg.Oracle {
+		return
+	}
+	tr := trace.New(cfg.MSS())
+	tp.sender.SetHooks(tr.Hooks(tp.sim.Now))
+	tp.attachOracle(cfg, tr)
 }
 
 // result assembles the standard measurement record.
@@ -667,6 +731,7 @@ func newTopology(cfg Config, streaming bool) (*topology, error) {
 		wiredRev:     wiredRev,
 		wirelessDown: wirelessDown,
 		wirelessUp:   wirelessUp,
+		arq:          arqCfg,
 	}
 	if chaosRNG != nil {
 		inj, err := chaos.New(s, cfg.Chaos, chaosRNG)

@@ -93,6 +93,7 @@ func RunWeb(cfg Config, web WebWorkload) (*WebResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	tp.armOracle(cfg)
 
 	res := &WebResult{}
 	var pageStart time.Duration
@@ -123,6 +124,10 @@ func RunWeb(cfg Config, web WebWorkload) (*WebResult, error) {
 		}
 	}
 
+	if f := tp.sim.Failure(); f != nil {
+		sim.Release(tp.sim)
+		return nil, f
+	}
 	res.Completed = len(res.PageLoadSec) == web.Pages
 	res.Timeouts = tp.sender.Stats().Timeouts
 	res.EBSNResets = tp.sender.Stats().EBSNResets
@@ -176,6 +181,7 @@ func RunTelnet(cfg Config, tl TelnetWorkload) (*TelnetResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	tp.armOracle(cfg)
 
 	res := &TelnetResult{}
 	produced := make([]time.Duration, 0, tl.Keystrokes)
@@ -206,6 +212,10 @@ func RunTelnet(cfg Config, tl TelnetWorkload) (*TelnetResult, error) {
 		}
 	}
 
+	if f := tp.sim.Failure(); f != nil {
+		sim.Release(tp.sim)
+		return nil, f
+	}
 	res.Completed = delivered == tl.Keystrokes
 	res.Timeouts = tp.sender.Stats().Timeouts
 	res.MeanLatency, res.P95Latency = meanP95(res.LatencySec)

@@ -15,12 +15,14 @@ import (
 )
 
 // ckOpts is a small sweep (2 bads x 2 sizes = 4 points) for engine tests.
+// The conformance oracle rides along, as in quickOpts.
 func ckOpts() Options {
 	return Options{
 		Replications: 2,
 		Transfer:     20 * units.KB,
 		PacketSizes:  []units.ByteSize{512, 1536},
 		BadPeriods:   []time.Duration{time.Second, 4 * time.Second},
+		Oracle:       true,
 	}
 }
 

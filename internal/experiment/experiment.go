@@ -73,6 +73,11 @@ type Options struct {
 	// Checks enables runtime invariant checking inside every run (see
 	// core.Config.Checks). A violation fails the replication.
 	Checks bool
+	// Oracle arms the streaming conformance checker inside every run (see
+	// core.Config.Oracle): each trace event is validated against the
+	// Tahoe, ARQ, and EBSN rule sets, and a violation fails the
+	// replication with the broken rule's name.
+	Oracle bool
 
 	// Workers bounds how many replications of a point run concurrently
 	// (default 1, i.e. sequential). Results are identical for any worker
@@ -136,8 +141,8 @@ func (o Options) workers() int {
 // -workers 4 resumes fine under -workers 1.
 func (o Options) fingerprint() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "v%d reps=%d seed=%d transfer=%d retries=%d checks=%v",
-		checkpointVersion, o.Replications, o.BaseSeed, o.Transfer, o.retries(), o.Checks)
+	fmt.Fprintf(&b, "v%d reps=%d seed=%d transfer=%d retries=%d checks=%v oracle=%v",
+		checkpointVersion, o.Replications, o.BaseSeed, o.Transfer, o.retries(), o.Checks, o.Oracle)
 	fmt.Fprintf(&b, " sizes=%v wanBads=%v lanBads=%v",
 		o.packetSizes(), o.wanBadPeriods(), o.lanBadPeriods())
 	return b.String()
@@ -228,6 +233,7 @@ func wanConfig(scheme bs.Scheme, size units.ByteSize, bad time.Duration, opt Opt
 	}
 	cfg.Seed = opt.BaseSeed + seed
 	cfg.Checks = opt.Checks
+	cfg.Oracle = opt.Oracle
 	return cfg
 }
 
@@ -239,6 +245,7 @@ func lanConfig(scheme bs.Scheme, bad time.Duration, opt Options, seed int64) cor
 	}
 	cfg.Seed = opt.BaseSeed + seed
 	cfg.Checks = opt.Checks
+	cfg.Oracle = opt.Oracle
 	return cfg
 }
 
@@ -383,6 +390,7 @@ func TraceFigure(scheme bs.Scheme, horizon time.Duration) (*core.Result, error) 
 	cfg := core.WAN(scheme, core.PaperWANPacketDefault, 4*time.Second)
 	cfg.Channel.Deterministic = true
 	cfg.CollectTrace = true
+	cfg.Oracle = true
 	if horizon > 0 {
 		cfg.Horizon = horizon
 	}

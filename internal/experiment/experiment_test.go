@@ -13,12 +13,15 @@ import (
 
 // quickOpts keeps test sweeps fast: fewer points, smaller transfers,
 // fewer replications. The qualitative claims still hold at this scale.
+// The conformance oracle rides along on every test sweep so any protocol
+// regression surfaces here too.
 func quickOpts() Options {
 	return Options{
 		Replications: 3,
 		Transfer:     40 * units.KB,
 		PacketSizes:  []units.ByteSize{128, 512, 1536},
 		BadPeriods:   []time.Duration{time.Second, 4 * time.Second},
+		Oracle:       true,
 	}
 }
 

@@ -55,6 +55,11 @@ type Mobile struct {
 	gapTimer       *sim.Timer
 	reorderTimeout time.Duration
 
+	// onSequenced observes every ARQ-sequenced unit handed up in link
+	// order (nil when unused) — the conformance oracle's view of the
+	// no-reordering guarantee.
+	onSequenced func(*packet.Packet)
+
 	stats MobileStats
 }
 
@@ -120,6 +125,11 @@ func NewMobileDeliver(s *sim.Simulator, cfg MobileConfig, ids *packet.IDGen, del
 // Stats returns a copy of the counters.
 func (m *Mobile) Stats() MobileStats { return m.stats }
 
+// SetSequencedHook installs an observer invoked for every ARQ-sequenced
+// unit as it is handed up in link order (before reassembly). The observer
+// must not mutate the packet or the host; nil clears it.
+func (m *Mobile) SetSequencedHook(fn func(*packet.Packet)) { m.onSequenced = fn }
+
 // Reassembler exposes reassembly statistics.
 func (m *Mobile) Reassembler() *ip.Reassembler { return m.reasm }
 
@@ -176,6 +186,9 @@ func (m *Mobile) drainReorder() {
 		}
 		delete(m.reorderBuf, m.nextSeq)
 		m.nextSeq++
+		if m.onSequenced != nil {
+			m.onSequenced(p)
+		}
 		m.reasm.Receive(p)
 	}
 	if len(m.reorderBuf) == 0 {

@@ -1,0 +1,79 @@
+package oracle
+
+// intervalSet is a small ordered set of half-open byte ranges [start, end),
+// merged on insert. It tracks which bytes the source has retransmitted so
+// Karn's backoff-reset rule can ask: does this ACK cover any fresh byte?
+// The set stays tiny (ranges below snd_una are pruned on every new ACK),
+// so linear operations are fine.
+type intervalSet struct {
+	spans []span
+}
+
+type span struct {
+	start, end int64
+}
+
+// add inserts [start, end), merging overlapping or adjacent spans.
+func (s *intervalSet) add(start, end int64) {
+	if end <= start {
+		return
+	}
+	out := make([]span, 0, len(s.spans)+1)
+	inserted := false
+	for _, sp := range s.spans {
+		switch {
+		case sp.end < start:
+			out = append(out, sp)
+		case end < sp.start:
+			if !inserted {
+				out = append(out, span{start, end})
+				inserted = true
+			}
+			out = append(out, sp)
+		default:
+			// Overlapping or touching: absorb into the pending span.
+			if sp.start < start {
+				start = sp.start
+			}
+			if sp.end > end {
+				end = sp.end
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, span{start, end})
+	}
+	s.spans = out
+}
+
+// covers reports whether every byte of [start, end) is in the set. An
+// empty range is trivially covered.
+func (s *intervalSet) covers(start, end int64) bool {
+	for _, sp := range s.spans {
+		if start >= end {
+			return true
+		}
+		if sp.start > start {
+			return false
+		}
+		if sp.end > start {
+			start = sp.end
+		}
+	}
+	return start >= end
+}
+
+// prune drops all bytes below the given offset (they were acknowledged).
+func (s *intervalSet) prune(below int64) {
+	out := s.spans[:0]
+	for _, sp := range s.spans {
+		if sp.end <= below {
+			continue
+		}
+		if sp.start < below {
+			sp.start = below
+		}
+		out = append(out, sp)
+	}
+	s.spans = out
+}

@@ -1,0 +1,68 @@
+package oracle
+
+import "testing"
+
+func TestIntervalSetAddAndCover(t *testing.T) {
+	var s intervalSet
+	s.add(10, 20)
+	s.add(30, 40)
+	if !s.covers(10, 20) || !s.covers(12, 18) {
+		t.Error("contained range not covered")
+	}
+	if s.covers(10, 25) || s.covers(5, 15) || s.covers(20, 30) {
+		t.Error("uncovered range reported covered")
+	}
+	// Merge across the gap.
+	s.add(20, 30)
+	if !s.covers(10, 40) {
+		t.Error("merged range not covered")
+	}
+	if len(s.spans) != 1 {
+		t.Errorf("spans = %v, want one merged span", s.spans)
+	}
+}
+
+func TestIntervalSetInsertBetweenSpans(t *testing.T) {
+	var s intervalSet
+	s.add(0, 1)
+	s.add(50, 60)
+	s.add(100, 110)
+	s.add(10, 20) // lands between existing spans
+	if len(s.spans) != 4 {
+		t.Fatalf("spans = %v", s.spans)
+	}
+	if !s.covers(10, 20) || !s.covers(50, 60) || !s.covers(100, 110) {
+		t.Errorf("existing spans corrupted: %v", s.spans)
+	}
+}
+
+func TestIntervalSetPrune(t *testing.T) {
+	var s intervalSet
+	s.add(10, 30)
+	s.add(40, 50)
+	s.prune(25)
+	if s.covers(10, 20) {
+		t.Error("pruned bytes still covered")
+	}
+	if !s.covers(25, 30) || !s.covers(40, 50) {
+		t.Error("surviving bytes lost")
+	}
+	s.prune(1000)
+	if len(s.spans) != 0 {
+		t.Errorf("spans after full prune: %v", s.spans)
+	}
+}
+
+func TestIntervalSetEmptyAndDegenerate(t *testing.T) {
+	var s intervalSet
+	if !s.covers(5, 5) {
+		t.Error("empty range must be trivially covered")
+	}
+	if s.covers(0, 1) {
+		t.Error("empty set covers nothing")
+	}
+	s.add(7, 7) // empty insert is a no-op
+	if len(s.spans) != 0 {
+		t.Errorf("degenerate add stored %v", s.spans)
+	}
+}

@@ -1,0 +1,141 @@
+package oracle_test
+
+// Metamorphic paper-fidelity gates: rather than pinning absolute
+// throughput numbers (which drift with any legitimate model change),
+// these tests pin the paper's *relations* — the directions and shapes
+// its figures argue from. Every run executes with the conformance oracle
+// armed, so a metamorphic regression and a protocol violation are both
+// caught here.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/core"
+	"wtcp/internal/units"
+)
+
+// meanThroughput averages throughput over a few seeded replications.
+func meanThroughput(t *testing.T, build func(seed int64) core.Config) float64 {
+	t.Helper()
+	const reps = 3
+	sum := 0.0
+	for seed := int64(1); seed <= reps; seed++ {
+		cfg := build(seed)
+		cfg.Oracle = true
+		res, err := core.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: transfer did not complete", seed)
+		}
+		sum += res.Summary.ThroughputKbps
+	}
+	return sum / reps
+}
+
+// TestThroughputMonotoneInErrorSeverity is the paper's independent
+// variable: longer mean fades must not raise throughput. A small
+// tolerance absorbs replication noise at test-sized transfers.
+func TestThroughputMonotoneInErrorSeverity(t *testing.T) {
+	bads := []time.Duration{
+		500 * time.Millisecond, time.Second, 2 * time.Second, 4 * time.Second,
+	}
+	for _, scheme := range []bs.Scheme{bs.Basic, bs.EBSN} {
+		prev := -1.0
+		prevBad := time.Duration(0)
+		for _, bad := range bads {
+			bad := bad
+			tput := meanThroughput(t, func(seed int64) core.Config {
+				cfg := core.WAN(scheme, 576, bad)
+				cfg.TransferSize = 40 * units.KB
+				cfg.Seed = seed
+				return cfg
+			})
+			if prev >= 0 && tput > prev*1.10 {
+				t.Errorf("%v: throughput rose with longer fades: bad=%v -> %.2f Kbps, bad=%v -> %.2f Kbps",
+					scheme, prevBad, prev, bad, tput)
+			}
+			prev, prevBad = tput, bad
+		}
+	}
+}
+
+// TestEBSNAtLeastBasic pins the paper's headline: explicit bad-state
+// notification never hurts, because the source's RTO stops backing off
+// against losses it did not cause. Figures 6-8 show EBSN >= basic TCP
+// across the whole sweep; 5% tolerance covers seed noise.
+func TestEBSNAtLeastBasic(t *testing.T) {
+	for _, bad := range []time.Duration{time.Second, 4 * time.Second} {
+		bad := bad
+		run := func(scheme bs.Scheme) float64 {
+			return meanThroughput(t, func(seed int64) core.Config {
+				cfg := core.WAN(scheme, 576, bad)
+				cfg.TransferSize = 40 * units.KB
+				cfg.Seed = seed
+				return cfg
+			})
+		}
+		basic := run(bs.Basic)
+		ebsn := run(bs.EBSN)
+		if ebsn < basic*0.95 {
+			t.Errorf("bad=%v: EBSN %.2f Kbps below basic %.2f Kbps", bad, ebsn, basic)
+		}
+	}
+}
+
+// TestPacketSizeSweepUnimodal pins the shape of Figure 7's packet-size
+// axis: throughput rises toward an interior optimum (bigger packets
+// amortize headers) and falls past it (bigger packets lose more to each
+// fade). The gate allows a 20% dip against the running envelope on each
+// side of the peak — the claim is the shape, not the exact values.
+func TestPacketSizeSweepUnimodal(t *testing.T) {
+	sizes := []units.ByteSize{128, 256, 576, 1024, 1536}
+	tputs := make([]float64, len(sizes))
+	for i, size := range sizes {
+		size := size
+		tputs[i] = meanThroughput(t, func(seed int64) core.Config {
+			cfg := core.WAN(bs.EBSN, size, 2*time.Second)
+			cfg.TransferSize = 40 * units.KB
+			cfg.Seed = seed
+			return cfg
+		})
+	}
+	peak := 0
+	for i, v := range tputs {
+		if v > tputs[peak] {
+			peak = i
+		}
+	}
+	const tol = 0.80
+	// Left of the peak: each point must beat the best seen so far, up to
+	// tolerance (no deep valley on the rise).
+	best := 0.0
+	for i := 0; i <= peak; i++ {
+		if tputs[i] < best*tol {
+			t.Errorf("valley on the rising side: size %d gives %.2f Kbps, after %.2f", sizes[i], tputs[i], best)
+		}
+		if tputs[i] > best {
+			best = tputs[i]
+		}
+	}
+	// Right of the peak: no point may climb back above the falling
+	// envelope (a second mode).
+	ceil := tputs[peak]
+	for i := peak + 1; i < len(tputs); i++ {
+		if tputs[i] > ceil/tol {
+			t.Errorf("second mode on the falling side: size %d gives %.2f Kbps, ceiling %.2f", sizes[i], tputs[i], ceil)
+		}
+		if tputs[i] < ceil {
+			ceil = tputs[i]
+		}
+	}
+	if testing.Verbose() {
+		for i := range sizes {
+			fmt.Printf("size=%d tput=%.2f\n", sizes[i], tputs[i])
+		}
+	}
+}

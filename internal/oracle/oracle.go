@@ -1,0 +1,699 @@
+// Package oracle is a streaming protocol-conformance checker for the
+// simulator's trace stream. It subscribes to trace events (trace.Trace's
+// observer) and validates, while a run executes, that the recorded
+// behaviour obeys the paper's protocol rules:
+//
+//   - the TCP-Tahoe sender state machine: slow-start and congestion-
+//     avoidance window growth, the loss responses (collapse to one
+//     segment, ssthresh halving, go-back-N rewind), RTO doubling with
+//     Karn's backoff-reset rule, and rejection of ACKs for unsent data;
+//   - the base station's ARQ semantics: bounded retransmission attempts,
+//     consistent attempt counting, no delivery after discard, and no
+//     reordering introduced by local recovery;
+//   - EBSN semantics: the base station notifies only after a failed
+//     link-level attempt, and the source restarts — never extends, never
+//     backs off — its retransmission timer with the current RTO.
+//
+// The checker is a shadow-state machine: it re-synchronizes from every
+// event (the events carry post-transition state), so rules compare one
+// event against the previous one rather than accumulating drift. A rule
+// breach produces a *Violation naming the rule and the event index; the
+// first violation is latched and, when wired into a run via internal/core,
+// halts the simulation through sim.Fail.
+package oracle
+
+import (
+	"fmt"
+	"time"
+
+	"wtcp/internal/tcp"
+	"wtcp/internal/trace"
+	"wtcp/internal/units"
+)
+
+// Config parameterizes the checker with the run's protocol constants.
+type Config struct {
+	// Variant is the sender's congestion-control flavour. The Tahoe-
+	// specific update rules (window growth, fast-retransmit collapse)
+	// are only checked when it is tcp.Tahoe; the structural rules (ACK
+	// validity, timer discipline, ARQ and EBSN semantics) apply to all.
+	// Zero defaults to Tahoe.
+	Variant tcp.Variant
+	// MSS and Window are the sender's segment size and advertised window.
+	MSS    units.ByteSize
+	Window units.ByteSize
+	// MaxRTO caps the exponential timer backoff; zero defaults to
+	// tcp.DefaultMaxRTO.
+	MaxRTO time.Duration
+	// RTmax is the ARQ retransmission cap (attempts allowed = RTmax+1);
+	// zero disables the attempt-cap rule.
+	RTmax int
+	// TrackNotifications enables the notification-counting rules (a
+	// source timer reset needs a prior EBSN on the wire; an EBSN on the
+	// wire needs a prior link-level failure). Valid only for
+	// single-connection runs with base-station hooks attached.
+	TrackNotifications bool
+	// ByteTol absorbs the int64 truncation of the float congestion
+	// window in trace events; zero defaults to 8 bytes.
+	ByteTol int64
+	// TimeTol absorbs timestamp normalization (e.g. microsecond-rounded
+	// golden traces); zero defaults to 2µs.
+	TimeTol time.Duration
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Variant == 0 {
+		c.Variant = tcp.Tahoe
+	}
+	if c.MaxRTO <= 0 {
+		c.MaxRTO = tcp.DefaultMaxRTO
+	}
+	if c.ByteTol == 0 {
+		c.ByteTol = 8
+	}
+	if c.TimeTol == 0 {
+		c.TimeTol = 2 * time.Microsecond
+	}
+	return c
+}
+
+// Violation reports one conformance breach: which rule, at which event.
+type Violation struct {
+	// Rule is the stable rule identifier, e.g. "tahoe/cwnd-growth".
+	Rule string
+	// Index is the event's position in the trace stream.
+	Index int
+	// Event is the offending event.
+	Event trace.Event
+	// Detail explains the breach in terms of observed vs expected values.
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("oracle: rule %s violated at event %d (%v %s): %s",
+		v.Rule, v.Index, v.Event.At, v.Event.Kind, v.Detail)
+}
+
+// Checker validates a trace event stream against Config's protocol rules.
+type Checker struct {
+	cfg Config
+
+	// last is the most recent sender-side event (the shadow state);
+	// haveLast guards the first event of a stream.
+	last     trace.Event
+	haveLast bool
+
+	// retx tracks byte ranges the source has retransmitted and not yet
+	// had acknowledged — the evidence base for Karn's rule: the backoff
+	// may only reset when an ACK covers at least one fresh byte.
+	retx intervalSet
+
+	// Notification bookkeeping (TrackNotifications).
+	ebsnSent, ebsnResets   int
+	quenchSent, quenchIn   int
+	arqFailures            int
+
+	// ARQ shadow: per-unit attempt counters, unit->packet ownership, and
+	// packets withdrawn after RTmax.
+	unitAttempt map[uint64]int
+	unitPkt     map[uint64]uint64
+	discarded   map[uint64]bool
+
+	// lastLinkSeq enforces strictly-increasing sequenced delivery at the
+	// mobile host.
+	lastLinkSeq uint64
+
+	first *Violation
+}
+
+// New returns a checker for one run.
+func New(cfg Config) *Checker {
+	return &Checker{
+		cfg:         cfg.withDefaults(),
+		unitAttempt: make(map[uint64]int),
+		unitPkt:     make(map[uint64]uint64),
+		discarded:   make(map[uint64]bool),
+	}
+}
+
+// First returns the first violation observed, or nil.
+func (c *Checker) First() *Violation { return c.first }
+
+// Check replays a complete event sequence and returns the first
+// violation, or nil if the whole stream conforms.
+func Check(cfg Config, events []trace.Event) *Violation {
+	c := New(cfg)
+	for i, e := range events {
+		if v := c.Observe(i, e); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// Observe feeds one event (trace.Trace observer signature plus a result):
+// it returns the violation this event caused, or nil. The first violation
+// is also latched for First. State keeps re-synchronizing afterwards, so
+// observing past a violation reports further independent breaches rather
+// than cascading noise.
+func (c *Checker) Observe(idx int, e trace.Event) *Violation {
+	v := c.observe(idx, e)
+	if v != nil && c.first == nil {
+		c.first = v
+	}
+	return v
+}
+
+func (c *Checker) observe(idx int, e trace.Event) *Violation {
+	fail := func(rule, format string, args ...any) *Violation {
+		return &Violation{Rule: rule, Index: idx, Event: e, Detail: fmt.Sprintf(format, args...)}
+	}
+	switch e.Kind {
+	case trace.Send, trace.Retransmit, trace.Timeout, trace.FastRetx,
+		trace.EBSNReset, trace.AckIn, trace.QuenchIn, trace.ECNEcho:
+		return c.observeSender(idx, e, fail)
+	case trace.ARQAttempt:
+		return c.observeARQAttempt(e, fail)
+	case trace.ARQFailure:
+		c.arqFailures++
+		if prev, ok := c.unitAttempt[e.Unit]; ok && e.Attempt != prev {
+			return fail("arq/failure-mismatch",
+				"failure reports attempt %d, unit %d is on attempt %d", e.Attempt, e.Unit, prev)
+		}
+		return nil
+	case trace.ARQAck:
+		delete(c.unitAttempt, e.Unit)
+		delete(c.unitPkt, e.Unit)
+		return nil
+	case trace.ARQDiscard:
+		c.discarded[e.Pkt] = true
+		for unit, pkt := range c.unitPkt {
+			if pkt == e.Pkt {
+				delete(c.unitAttempt, unit)
+				delete(c.unitPkt, unit)
+			}
+		}
+		return nil
+	case trace.EBSNSent:
+		c.ebsnSent++
+		if c.cfg.TrackNotifications && c.ebsnSent > c.arqFailures {
+			return fail("ebsn/sent-without-failure",
+				"%d EBSNs sent but only %d link-level failures observed", c.ebsnSent, c.arqFailures)
+		}
+		return nil
+	case trace.QuenchSent:
+		c.quenchSent++
+		if c.cfg.TrackNotifications && c.quenchSent > c.arqFailures {
+			return fail("quench/sent-without-failure",
+				"%d quenches sent but only %d link-level failures observed", c.quenchSent, c.arqFailures)
+		}
+		return nil
+	case trace.MHDeliver:
+		if e.Unit <= c.lastLinkSeq {
+			return fail("arq/reorder",
+				"sequenced unit %d delivered after unit %d", e.Unit, c.lastLinkSeq)
+		}
+		c.lastLinkSeq = e.Unit
+		return nil
+	default:
+		return nil
+	}
+}
+
+// observeARQAttempt checks the attempt-counting discipline of one link
+// transmission.
+func (c *Checker) observeARQAttempt(e trace.Event, fail failf) *Violation {
+	if c.cfg.RTmax > 0 && e.Attempt > c.cfg.RTmax+1 {
+		return fail("arq/attempt-cap",
+			"attempt %d exceeds RTmax=%d (max %d transmissions)", e.Attempt, c.cfg.RTmax, c.cfg.RTmax+1)
+	}
+	if e.Attempt > 1 && c.discarded[e.Pkt] {
+		return fail("arq/attempt-after-discard",
+			"unit %d retransmitted (attempt %d) for packet %d after its discard", e.Unit, e.Attempt, e.Pkt)
+	}
+	if e.Attempt == 1 {
+		// A fresh first attempt also re-admits a previously discarded
+		// packet (the source retransmitted it end to end).
+		delete(c.discarded, e.Pkt)
+	}
+	prev, tracked := c.unitAttempt[e.Unit]
+	switch {
+	case !tracked && e.Attempt != 1:
+		return fail("arq/attempt-order",
+			"unit %d appears mid-sequence at attempt %d (stale recycled timer?)", e.Unit, e.Attempt)
+	case tracked && e.Attempt != prev+1 && e.Attempt != 1:
+		return fail("arq/attempt-order",
+			"unit %d jumped from attempt %d to %d", e.Unit, prev, e.Attempt)
+	}
+	c.unitAttempt[e.Unit] = e.Attempt
+	c.unitPkt[e.Unit] = e.Pkt
+	return nil
+}
+
+type failf func(rule, format string, args ...any) *Violation
+
+// observeSender dispatches the TCP-side rules and re-syncs the shadow.
+func (c *Checker) observeSender(idx int, e trace.Event, fail failf) *Violation {
+	defer func() {
+		// Transmission snapshots are taken before the sequence pointers
+		// advance; shadow the post-advance values so the next event's
+		// unchanged-state checks compare against reality. A retransmission
+		// with Seq below SndNxt (Reno's retransmit-first) moves nothing.
+		if e.Kind == trace.Send || e.Kind == trace.Retransmit {
+			if e.Seq == e.SndNxt {
+				e.SndNxt = e.Seq + e.Payload
+			}
+			if e.SndNxt > e.SndMax {
+				e.SndMax = e.SndNxt
+			}
+		}
+		c.last = e
+		c.haveLast = true
+	}()
+	if e.SndUna < 0 || e.SndUna > e.SndNxt || e.SndNxt > e.SndMax {
+		return fail("tcp/sequence-order",
+			"snd_una=%d snd_nxt=%d snd_max=%d out of order", e.SndUna, e.SndNxt, e.SndMax)
+	}
+	switch e.Kind {
+	case trace.Send, trace.Retransmit:
+		return c.checkSend(e, fail)
+	case trace.AckIn:
+		return c.checkAck(e, fail)
+	case trace.Timeout:
+		return c.checkTimeout(e, fail)
+	case trace.FastRetx:
+		return c.checkFastRetx(e, fail)
+	case trace.EBSNReset:
+		return c.checkEBSNReset(e, fail)
+	case trace.QuenchIn:
+		return c.checkQuench(e, fail)
+	case trace.ECNEcho:
+		return c.checkECN(e, fail)
+	}
+	return nil
+}
+
+// checkSend validates one segment transmission. Send snapshots are taken
+// before the sequence pointers advance, so a fresh send shows
+// Seq == SndNxt == SndMax.
+func (c *Checker) checkSend(e trace.Event, fail failf) *Violation {
+	if e.Kind == trace.Send {
+		if e.Seq != e.SndMax || e.Seq != e.SndNxt {
+			return fail("tcp/send-pointer",
+				"fresh send at seq %d, want snd_nxt=%d and snd_max=%d", e.Seq, e.SndNxt, e.SndMax)
+		}
+	} else {
+		if e.Seq >= e.SndMax {
+			return fail("tcp/retransmit-pointer",
+				"retransmission at seq %d is not below snd_max %d", e.Seq, e.SndMax)
+		}
+		c.retx.add(e.Seq, e.Seq+e.Payload)
+	}
+	limit := e.SndUna + c.usableWindow(e.Cwnd)
+	if e.Seq+e.Payload > limit+c.cfg.ByteTol {
+		return fail("tcp/window-overrun",
+			"segment [%d,%d) exceeds window limit %d (snd_una=%d cwnd=%d adv=%d)",
+			e.Seq, e.Seq+e.Payload, limit, e.SndUna, e.Cwnd, int64(c.cfg.Window))
+	}
+	if e.Deadline < 0 {
+		return fail("tcp/timer-armed-on-send",
+			"retransmission timer idle immediately after a transmission")
+	}
+	return nil
+}
+
+// usableWindow mirrors the sender's window(): min(cwnd, advertised),
+// floored at one segment.
+func (c *Checker) usableWindow(cwnd int64) int64 {
+	w := cwnd
+	if adv := int64(c.cfg.Window); adv < w {
+		w = adv
+	}
+	if mss := int64(c.cfg.MSS); w < mss {
+		w = mss
+	}
+	return w
+}
+
+// checkAck validates the processing of one inbound cumulative ACK.
+func (c *Checker) checkAck(e trace.Event, fail failf) *Violation {
+	switch tcp.AckClass(e.AckClass) {
+	case tcp.AckNew:
+		return c.checkNewAck(e, fail)
+	case tcp.AckDup:
+		return c.checkDupAck(e, fail)
+	case tcp.AckOld:
+		if e.Ack >= e.SndUna {
+			return fail("tcp/ack-class",
+				"ACK %d classified old but is at or above snd_una %d", e.Ack, e.SndUna)
+		}
+		return c.checkUnchanged("tcp/old-ack-mutation", e, fail)
+	case tcp.AckInvalid:
+		if e.Ack <= e.SndMax {
+			return fail("tcp/ack-class",
+				"ACK %d classified invalid but is within snd_max %d", e.Ack, e.SndMax)
+		}
+		return c.checkUnchanged("tcp/ack-of-unsent", e, fail)
+	default:
+		return fail("tcp/ack-class", "unknown ACK class %d", e.AckClass)
+	}
+}
+
+// checkNewAck validates window growth, timer restart, and Karn's
+// backoff-reset rule for a window-advancing ACK.
+func (c *Checker) checkNewAck(e trace.Event, fail failf) *Violation {
+	if e.Ack > e.SndMax {
+		return fail("tcp/ack-of-unsent",
+			"sender accepted ACK %d beyond snd_max %d", e.Ack, e.SndMax)
+	}
+	if e.SndUna != e.Ack {
+		return fail("tcp/ack-advance",
+			"new ACK %d left snd_una at %d", e.Ack, e.SndUna)
+	}
+	if e.DupAcks != 0 {
+		return fail("tcp/ack-advance",
+			"new ACK %d did not clear the duplicate-ACK run (%d)", e.Ack, e.DupAcks)
+	}
+	if !c.haveLast {
+		return nil
+	}
+	p := c.last
+	if e.SndUna <= p.SndUna {
+		return fail("tcp/ack-advance",
+			"new ACK %d did not advance snd_una (%d -> %d)", e.Ack, p.SndUna, e.SndUna)
+	}
+	// Karn's rule: the backoff shift may only reset to zero when the ACK
+	// proves a fresh (never-retransmitted) byte made a round trip.
+	switch {
+	case e.Shift == p.Shift:
+		// unchanged: fine
+	case e.Shift == 0:
+		if c.retx.covers(p.SndUna, e.Ack) {
+			return fail("tcp/karn-backoff-reset",
+				"backoff reset from shift %d but ACK %d covers only retransmitted bytes [%d,%d)",
+				p.Shift, e.Ack, p.SndUna, e.Ack)
+		}
+	default:
+		return fail("tcp/karn-backoff-reset",
+			"backoff shift moved %d -> %d on an ACK (only reset-to-0 is legal)", p.Shift, e.Shift)
+	}
+	c.retx.prune(e.Ack)
+	if c.cfg.Variant == tcp.Tahoe {
+		// Window growth: slow start below ssthresh, else congestion
+		// avoidance, capped at the advertised window plus one segment.
+		mss := float64(c.cfg.MSS)
+		exp := float64(p.Cwnd)
+		if p.Cwnd < p.Ssthresh {
+			exp += mss
+		} else {
+			exp += mss * mss / float64(p.Cwnd)
+		}
+		if cap := float64(c.cfg.Window) + mss; exp > cap {
+			exp = cap
+		}
+		if !within(float64(e.Cwnd), exp, c.cfg.ByteTol) {
+			phase := "congestion avoidance"
+			if p.Cwnd < p.Ssthresh {
+				phase = "slow start"
+			}
+			return fail("tahoe/cwnd-growth",
+				"%s growth from cwnd=%d gives %d, want %.0f", phase, p.Cwnd, e.Cwnd, exp)
+		}
+		if e.Ssthresh != p.Ssthresh {
+			return fail("tahoe/cwnd-growth",
+				"ssthresh moved %d -> %d on a new ACK", p.Ssthresh, e.Ssthresh)
+		}
+	}
+	// Timer discipline: restart for remaining outstanding data, stop when
+	// everything is acknowledged.
+	if e.SndNxt > e.SndUna {
+		if !c.deadlineIs(e, e.At+e.RTO) {
+			return fail("tcp/timer-restart-on-ack",
+				"timer deadline %v after ACK, want restart at %v (now+RTO)", e.Deadline, e.At+e.RTO)
+		}
+	} else if e.Deadline >= 0 {
+		return fail("tcp/timer-not-stopped-idle",
+			"nothing outstanding after ACK %d but timer still armed for %v", e.Ack, e.Deadline)
+	}
+	return nil
+}
+
+// checkDupAck validates a duplicate ACK: no state may move, and for Tahoe
+// the run length must stay below the fast-retransmit threshold (the third
+// duplicate must surface as a FastRetx event instead).
+func (c *Checker) checkDupAck(e trace.Event, fail failf) *Violation {
+	if e.Ack != e.SndUna {
+		return fail("tcp/ack-class",
+			"ACK %d classified duplicate but snd_una is %d", e.Ack, e.SndUna)
+	}
+	if !c.haveLast {
+		return nil
+	}
+	p := c.last
+	if c.cfg.Variant == tcp.Tahoe {
+		if e.DupAcks >= tcp.DupAckThreshold {
+			return fail("tahoe/missed-fast-retransmit",
+				"duplicate-ACK run reached %d without a fast retransmit", e.DupAcks)
+		}
+		if e.Cwnd != p.Cwnd || e.Ssthresh != p.Ssthresh {
+			return fail("tahoe/dupack-no-growth",
+				"below-threshold duplicate ACK moved cwnd/ssthresh %d/%d -> %d/%d",
+				p.Cwnd, p.Ssthresh, e.Cwnd, e.Ssthresh)
+		}
+	}
+	if e.SndUna != p.SndUna || e.SndMax != p.SndMax {
+		return fail("tcp/ack-class",
+			"duplicate ACK moved sequence pointers (snd_una %d -> %d)", p.SndUna, e.SndUna)
+	}
+	return nil
+}
+
+// checkUnchanged asserts an ignored ACK (old or invalid) mutated nothing.
+func (c *Checker) checkUnchanged(rule string, e trace.Event, fail failf) *Violation {
+	if !c.haveLast {
+		return nil
+	}
+	p := c.last
+	if e.Cwnd != p.Cwnd || e.Ssthresh != p.Ssthresh || e.Shift != p.Shift ||
+		e.SndUna != p.SndUna || e.SndNxt != p.SndNxt || e.SndMax != p.SndMax {
+		return fail(rule,
+			"ignored ACK %d mutated sender state (cwnd %d->%d ssthresh %d->%d snd_una %d->%d)",
+			e.Ack, p.Cwnd, e.Cwnd, p.Ssthresh, e.Ssthresh, p.SndUna, e.SndUna)
+	}
+	return nil
+}
+
+// checkTimeout validates the Tahoe timeout response: collapse to one
+// segment, ssthresh halving, go-back-N rewind, Karn backoff, timer
+// restart. These hold for every variant in this codebase (timeouts always
+// abandon fast recovery).
+func (c *Checker) checkTimeout(e trace.Event, fail failf) *Violation {
+	if !within(float64(e.Cwnd), float64(c.cfg.MSS), c.cfg.ByteTol) {
+		return fail("tcp/timeout-collapse",
+			"cwnd %d after timeout, want one segment (%d)", e.Cwnd, int64(c.cfg.MSS))
+	}
+	if e.SndNxt != e.SndUna {
+		return fail("tcp/timeout-rewind",
+			"snd_nxt %d not rewound to snd_una %d (go-back-N)", e.SndNxt, e.SndUna)
+	}
+	if e.DupAcks != 0 {
+		return fail("tcp/timeout-collapse",
+			"timeout did not clear the duplicate-ACK run (%d)", e.DupAcks)
+	}
+	if !c.deadlineIs(e, e.At+e.RTO) {
+		return fail("tcp/timer-restart-on-timeout",
+			"timer deadline %v after timeout, want %v (now+RTO)", e.Deadline, e.At+e.RTO)
+	}
+	if !c.haveLast {
+		return nil
+	}
+	p := c.last
+	if v := c.checkHalved("tcp/timeout-ssthresh", e, p, fail); v != nil {
+		return v
+	}
+	// Karn backoff: the shift increments (capped at 6) and the timeout
+	// doubles (capped at MaxRTO). The RTO base cannot have changed since
+	// the previous event — samples are only taken on new ACKs, which
+	// snapshot too.
+	const maxShift = 6
+	wantShift := p.Shift + 1
+	wantRTO := 2 * p.RTO
+	if wantShift > maxShift {
+		wantShift = maxShift
+		wantRTO = p.RTO
+	}
+	if wantRTO > c.cfg.MaxRTO {
+		wantRTO = c.cfg.MaxRTO
+	}
+	if e.Shift != wantShift {
+		return fail("tcp/rto-backoff",
+			"backoff shift %d after timeout, want %d", e.Shift, wantShift)
+	}
+	if !durWithin(e.RTO, wantRTO, 2*c.cfg.TimeTol) {
+		return fail("tcp/rto-backoff",
+			"RTO %v after timeout, want %v (doubled from %v, capped at %v)",
+			e.RTO, wantRTO, p.RTO, c.cfg.MaxRTO)
+	}
+	return nil
+}
+
+// checkFastRetx validates the Tahoe fast-retransmit response on the third
+// duplicate ACK: ssthresh halves, the window collapses and slow start
+// resumes from snd_una — with no timer backoff (the ACK clock is still
+// running; backing off here is the mistake Karn's rule is about).
+func (c *Checker) checkFastRetx(e trace.Event, fail failf) *Violation {
+	if c.cfg.Variant != tcp.Tahoe {
+		return nil
+	}
+	if !within(float64(e.Cwnd), float64(c.cfg.MSS), c.cfg.ByteTol) {
+		return fail("tahoe/fastretx-collapse",
+			"cwnd %d after fast retransmit, want one segment (%d)", e.Cwnd, int64(c.cfg.MSS))
+	}
+	if e.SndNxt != e.SndUna {
+		return fail("tahoe/fastretx-collapse",
+			"snd_nxt %d not rewound to snd_una %d", e.SndNxt, e.SndUna)
+	}
+	if e.DupAcks != 0 {
+		return fail("tahoe/fastretx-collapse",
+			"fast retransmit did not clear the duplicate-ACK run (%d)", e.DupAcks)
+	}
+	if !c.deadlineIs(e, e.At+e.RTO) {
+		return fail("tahoe/fastretx-timer",
+			"timer deadline %v after fast retransmit, want %v (now+RTO)", e.Deadline, e.At+e.RTO)
+	}
+	if !c.haveLast {
+		return nil
+	}
+	p := c.last
+	if v := c.checkHalved("tahoe/fastretx-ssthresh", e, p, fail); v != nil {
+		return v
+	}
+	if e.Shift != p.Shift || !durWithin(e.RTO, p.RTO, c.cfg.TimeTol) {
+		return fail("tahoe/fastretx-no-backoff",
+			"fast retransmit changed the timeout (shift %d->%d, RTO %v->%v)",
+			p.Shift, e.Shift, p.RTO, e.RTO)
+	}
+	return nil
+}
+
+// checkHalved asserts e.Ssthresh == max(min(prev cwnd, window)/2, 2*MSS).
+func (c *Checker) checkHalved(rule string, e, p trace.Event, fail failf) *Violation {
+	flight := float64(p.Cwnd)
+	if adv := float64(c.cfg.Window); adv < flight {
+		flight = adv
+	}
+	exp := flight / 2
+	if min := 2 * float64(c.cfg.MSS); exp < min {
+		exp = min
+	}
+	if !within(float64(e.Ssthresh), exp, c.cfg.ByteTol) {
+		return fail(rule,
+			"ssthresh %d, want %.0f (half of min(cwnd=%d, window=%d), floored at 2 segments)",
+			e.Ssthresh, exp, p.Cwnd, int64(c.cfg.Window))
+	}
+	return nil
+}
+
+// checkEBSNReset validates the paper's EBSN response: the source restarts
+// its retransmission timer with the *current* RTO — it does not extend an
+// existing deadline, does not back off, and touches no congestion state.
+func (c *Checker) checkEBSNReset(e trace.Event, fail failf) *Violation {
+	if c.cfg.TrackNotifications {
+		c.ebsnResets++
+		if c.ebsnResets > c.ebsnSent {
+			return fail("ebsn/reset-without-notification",
+				"%d timer resets but only %d EBSNs were sent by the base station",
+				c.ebsnResets, c.ebsnSent)
+		}
+	}
+	if e.SndNxt > e.SndUna && !c.deadlineIs(e, e.At+e.RTO) {
+		return fail("ebsn/timer-restart-not-extend",
+			"timer deadline %v after EBSN, want restart at %v (now + current RTO)",
+			e.Deadline, e.At+e.RTO)
+	}
+	if !c.haveLast {
+		return nil
+	}
+	p := c.last
+	if e.Cwnd != p.Cwnd || e.Ssthresh != p.Ssthresh {
+		return fail("ebsn/no-congestion-response",
+			"EBSN moved cwnd/ssthresh %d/%d -> %d/%d (must be congestion-neutral)",
+			p.Cwnd, p.Ssthresh, e.Cwnd, e.Ssthresh)
+	}
+	if e.Shift != p.Shift || !durWithin(e.RTO, p.RTO, c.cfg.TimeTol) {
+		return fail("ebsn/timer-restart-not-extend",
+			"EBSN changed the timeout value (shift %d->%d, RTO %v->%v); it may only re-arm",
+			p.Shift, e.Shift, p.RTO, e.RTO)
+	}
+	return nil
+}
+
+// checkQuench validates RFC 1122 source-quench handling: the window
+// collapses to one segment, and nothing else moves (in particular the
+// retransmission timer — which is exactly why quench cannot prevent the
+// timeouts EBSN prevents).
+func (c *Checker) checkQuench(e trace.Event, fail failf) *Violation {
+	if c.cfg.TrackNotifications {
+		c.quenchIn++
+		if c.quenchIn > c.quenchSent {
+			return fail("quench/in-without-notification",
+				"%d quench responses but only %d quenches were sent", c.quenchIn, c.quenchSent)
+		}
+	}
+	if !within(float64(e.Cwnd), float64(c.cfg.MSS), c.cfg.ByteTol) {
+		return fail("quench/collapse",
+			"cwnd %d after source quench, want one segment (%d)", e.Cwnd, int64(c.cfg.MSS))
+	}
+	if !c.haveLast {
+		return nil
+	}
+	p := c.last
+	if e.Ssthresh != p.Ssthresh || e.Shift != p.Shift || !durWithin(e.RTO, p.RTO, c.cfg.TimeTol) {
+		return fail("quench/collapse",
+			"source quench moved ssthresh/shift/RTO (%d/%d/%v -> %d/%d/%v)",
+			p.Ssthresh, p.Shift, p.RTO, e.Ssthresh, e.Shift, e.RTO)
+	}
+	return nil
+}
+
+// checkECN validates the [Floyd 94] ECN response: one halving per flight,
+// with cwnd dropped to the new ssthresh.
+func (c *Checker) checkECN(e trace.Event, fail failf) *Violation {
+	if !within(float64(e.Cwnd), float64(e.Ssthresh), c.cfg.ByteTol) {
+		return fail("ecn/halve",
+			"cwnd %d after ECN echo, want the new ssthresh %d", e.Cwnd, e.Ssthresh)
+	}
+	if !c.haveLast {
+		return nil
+	}
+	return c.checkHalved("ecn/halve", e, c.last, fail)
+}
+
+// deadlineIs compares an armed deadline within the time tolerance; an
+// idle timer (negative deadline) never matches.
+func (c *Checker) deadlineIs(e trace.Event, want time.Duration) bool {
+	if e.Deadline < 0 {
+		return false
+	}
+	return durWithin(e.Deadline, want, 2*c.cfg.TimeTol)
+}
+
+// within compares byte quantities under the truncation tolerance.
+func within(got, want float64, tol int64) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= float64(tol)
+}
+
+// durWithin compares durations under tol.
+func durWithin(got, want, tol time.Duration) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

@@ -123,6 +123,11 @@ func (s *Simulator) fail(name string, err error) error {
 	return s.failure
 }
 
+// Fail lets an external monitor (e.g. the conformance oracle) record a
+// failure under the given name and halt the run, exactly as a registered
+// check would. Only the first failure is kept; it is returned either way.
+func (s *Simulator) Fail(name string, err error) error { return s.fail(name, err) }
+
 // Failure returns the invariant violation or watchdog stall that halted
 // the simulation, or nil if none has been recorded.
 func (s *Simulator) Failure() error { return s.failure }

@@ -154,3 +154,66 @@ func TestWatchdogDisabled(t *testing.T) {
 		t.Error("disabled watchdog scheduled events")
 	}
 }
+
+func TestStepSurfacesRegisteredFailure(t *testing.T) {
+	s := New()
+	s.AddCheck("always-bad", func() error { return errors.New("boom") })
+	s.EnableChecks(time.Second)
+	s.Schedule(10*time.Second, func() {})
+	// Drive by Step, as core's run loops do: the loop must terminate with
+	// the failure surfaced through Step's error, not silently via !ok.
+	var stepErr error
+	for i := 0; i < 1000; i++ {
+		ok, err := s.Step()
+		if err != nil {
+			stepErr = err
+			break
+		}
+		if !ok {
+			t.Fatal("queue drained without surfacing the failing check")
+		}
+	}
+	var ce *CheckError
+	if !errors.As(stepErr, &ce) {
+		t.Fatalf("Step error = %v, want *CheckError", stepErr)
+	}
+	if ce.Name != "always-bad" {
+		t.Errorf("check name = %q", ce.Name)
+	}
+	if !errors.Is(stepErr, s.Failure()) {
+		t.Error("Step error and Failure() disagree")
+	}
+	// Subsequent Steps keep reporting the same failure and never execute.
+	if ok, err := s.Step(); ok || err == nil {
+		t.Errorf("Step after failure = (%v, %v), want (false, failure)", ok, err)
+	}
+}
+
+func TestFailRecordsExternalFailure(t *testing.T) {
+	s := New()
+	fired := false
+	s.Schedule(time.Second, func() {
+		s.Fail("oracle", errors.New("rule violated"))
+	})
+	s.Schedule(2*time.Second, func() { fired = true })
+	ok, err := s.Step()
+	if !ok || err != nil {
+		t.Fatalf("first Step = (%v, %v)", ok, err)
+	}
+	ok, err = s.Step()
+	if ok || err == nil {
+		t.Fatalf("Step after Fail = (%v, %v), want halt", ok, err)
+	}
+	var ce *CheckError
+	if !errors.As(err, &ce) || ce.Name != "oracle" || ce.At != time.Second {
+		t.Errorf("failure = %v", err)
+	}
+	if fired {
+		t.Error("event executed after Fail halted the run")
+	}
+	// Only the first failure is kept.
+	s.Fail("second", errors.New("later"))
+	if !errors.As(s.Failure(), &ce) || ce.Name != "oracle" {
+		t.Errorf("first failure not preserved: %v", s.Failure())
+	}
+}

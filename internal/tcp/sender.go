@@ -259,7 +259,33 @@ func (s *Sender) emit(seq int64, payload units.ByteSize) {
 	if s.hooks.OnSend != nil {
 		s.hooks.OnSend(seq, payload, retx)
 	}
+	s.emitState(StateSnapshot{Kind: StateSend, Seq: seq, Payload: payload, Retransmit: retx})
 	s.out(p)
+}
+
+// emitState fills the common fields of a post-transition snapshot and
+// hands it to the observation hook. Sequence pointers already advanced by
+// the caller are reported as-is; the snapshot must be taken after every
+// state mutation of the transition (including timer re-arms).
+func (s *Sender) emitState(st StateSnapshot) {
+	if s.hooks.OnState == nil {
+		return
+	}
+	st.Cwnd = units.ByteSize(s.cwnd)
+	st.Ssthresh = units.ByteSize(s.ssthresh)
+	st.SndUna = s.sndUna
+	st.SndNxt = s.sndNxt
+	st.SndMax = s.sndMax
+	st.RTO = s.rto.RTO()
+	st.TimerDeadline = s.timer.Deadline()
+	st.BackoffShift = s.rto.BackoffShift()
+	st.DupAcks = s.dupacks
+	s.hooks.OnState(st)
+}
+
+// emitAckState snapshots the outcome of processing one cumulative ACK.
+func (s *Sender) emitAckState(ackNo int64, class AckClass) {
+	s.emitState(StateSnapshot{Kind: StateAck, AckNo: ackNo, AckClass: class})
 }
 
 // Receive accepts an inbound packet from the network: TCP ACKs and the two
@@ -293,6 +319,7 @@ func (s *Sender) onECNEcho() {
 	s.cwnd = s.ssthresh
 	s.notifyCwnd()
 	s.ecnGuard = s.sndNxt
+	s.emitState(StateSnapshot{Kind: StateECN})
 }
 
 // onAck processes a cumulative acknowledgment.
@@ -303,6 +330,7 @@ func (s *Sender) onAck(ackNo int64) {
 	if ackNo > s.sndMax {
 		// Acknowledgment for data never sent (corrupted or forged);
 		// accepting it would desynchronize the window. RFC 793 drops it.
+		s.emitAckState(ackNo, AckInvalid)
 		return
 	}
 	s.stats.AcksReceived++
@@ -313,6 +341,7 @@ func (s *Sender) onAck(ackNo int64) {
 		s.onDupAck()
 	default:
 		// Old ACK (below snd_una): ignore.
+		s.emitAckState(ackNo, AckOld)
 	}
 }
 
@@ -346,6 +375,7 @@ func (s *Sender) onNewAck(ackNo int64) {
 				s.sndNxt = s.sndUna
 			}
 			s.retransmitFirst()
+			s.emitAckState(ackNo, AckNew)
 			s.trySend()
 			return
 		default:
@@ -369,6 +399,7 @@ func (s *Sender) onNewAck(ackNo int64) {
 
 	if s.sndUna >= int64(s.cfg.Total) {
 		s.complete()
+		s.emitAckState(ackNo, AckNew)
 		return
 	}
 	// Restart the timer for the remaining outstanding data; with nothing
@@ -379,6 +410,7 @@ func (s *Sender) onNewAck(ackNo int64) {
 	} else {
 		s.timer.Stop()
 	}
+	s.emitAckState(ackNo, AckNew)
 	s.trySend()
 }
 
@@ -411,10 +443,12 @@ func (s *Sender) onDupAck() {
 	if s.inRecovery {
 		// Reno: inflate the window during recovery.
 		s.cwnd += float64(s.cfg.MSS)
+		s.emitAckState(s.sndUna, AckDup)
 		s.trySend()
 		return
 	}
 	if s.dupacks != DupAckThreshold {
+		s.emitAckState(s.sndUna, AckDup)
 		return
 	}
 	s.stats.FastRetransmits++
@@ -431,12 +465,14 @@ func (s *Sender) onDupAck() {
 		s.retransmitFirst()
 		s.cwnd = s.ssthresh + DupAckThreshold*mss
 		s.notifyCwnd()
+		s.emitState(StateSnapshot{Kind: StateFastRetx, Seq: s.sndUna})
 	default: // Tahoe: collapse and slow-start from snd_una (go-back-N).
 		s.cwnd = mss
 		s.notifyCwnd()
 		s.sndNxt = s.sndUna
 		s.dupacks = 0
 		s.timer.Set(s.rto.RTO())
+		s.emitState(StateSnapshot{Kind: StateFastRetx, Seq: s.sndUna})
 		s.trySend()
 	}
 }
@@ -495,6 +531,7 @@ func (s *Sender) onTimeout() {
 	// Go-back-N: rewind and retransmit from the oldest unacked byte.
 	s.sndNxt = s.sndUna
 	s.timer.Set(s.rto.RTO())
+	s.emitState(StateSnapshot{Kind: StateTimeout, Seq: s.sndUna})
 	s.trySend()
 }
 
@@ -512,6 +549,7 @@ func (s *Sender) onEBSN() {
 	if s.sndNxt > s.sndUna { // only while data is outstanding
 		s.timer.Set(s.rto.RTO())
 	}
+	s.emitState(StateSnapshot{Kind: StateEBSN})
 }
 
 // onQuench implements RFC 1122 source-quench handling: collapse the
@@ -525,6 +563,7 @@ func (s *Sender) onQuench() {
 	s.stats.Quenches++
 	s.cwnd = float64(s.cfg.MSS)
 	s.notifyCwnd()
+	s.emitState(StateSnapshot{Kind: StateQuench})
 }
 
 // complete marks the transfer finished.

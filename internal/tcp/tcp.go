@@ -161,6 +161,76 @@ type Stats struct {
 	DupAcksReceived uint64
 }
 
+// StateKind names the sender transition a StateSnapshot describes.
+type StateKind int
+
+// State-snapshot kinds.
+const (
+	// StateSend is a segment emission (fresh or retransmission).
+	StateSend StateKind = iota + 1
+	// StateAck is the processing of one inbound cumulative ACK.
+	StateAck
+	// StateTimeout is a retransmission-timer expiry with data outstanding.
+	StateTimeout
+	// StateFastRetx is a third-duplicate-ACK fast retransmit.
+	StateFastRetx
+	// StateEBSN is the processing of an EBSN control message.
+	StateEBSN
+	// StateQuench is the processing of an ICMP source quench.
+	StateQuench
+	// StateECN is an ECN congestion echo that halved the window.
+	StateECN
+)
+
+// AckClass classifies an inbound cumulative ACK.
+type AckClass int
+
+// ACK classes.
+const (
+	AckNone AckClass = iota
+	// AckNew advances snd_una.
+	AckNew
+	// AckDup equals snd_una with data outstanding (a duplicate).
+	AckDup
+	// AckOld is below snd_una (stale; ignored).
+	AckOld
+	// AckInvalid acknowledges data never sent (dropped per RFC 793).
+	AckInvalid
+)
+
+// StateSnapshot captures the sender's externally-checkable state right
+// after one protocol transition. It is the conformance oracle's raw
+// material: every field is post-transition, so a checker can verify the
+// update rules of the Tahoe state machine event by event.
+type StateSnapshot struct {
+	// Kind names the transition.
+	Kind StateKind
+	// Seq and Payload describe the segment involved (sends); Retransmit
+	// marks a resend of previously transmitted data. For StateSend the
+	// sequence pointers are pre-advance (the segment is on the wire but
+	// SndNxt/SndMax have not moved yet), so a fresh send always shows
+	// Seq == SndMax.
+	Seq        int64
+	Payload    units.ByteSize
+	Retransmit bool
+	// AckNo and AckClass describe the inbound ACK (StateAck only).
+	AckNo    int64
+	AckClass AckClass
+	// Cwnd and Ssthresh are the post-transition congestion state in bytes
+	// (truncated from the sender's fractional accounting).
+	Cwnd, Ssthresh units.ByteSize
+	// SndUna, SndNxt, SndMax are the sequence pointers.
+	SndUna, SndNxt, SndMax int64
+	// RTO is the current retransmission timeout; TimerDeadline is the
+	// virtual time the timer will fire, or negative when idle.
+	RTO           time.Duration
+	TimerDeadline time.Duration
+	// BackoffShift is the Karn exponential-backoff exponent.
+	BackoffShift int
+	// DupAcks is the consecutive-duplicate-ACK counter.
+	DupAcks int
+}
+
 // Hooks are optional observation points; any field may be nil. They exist
 // for the tracer and for tests, and must not mutate sender state.
 type Hooks struct {
@@ -176,6 +246,11 @@ type Hooks struct {
 	// OnCwnd fires whenever the congestion window or threshold changes
 	// (growth, collapse, recovery), for window-evolution traces.
 	OnCwnd func(cwnd, ssthresh units.ByteSize)
+	// OnState fires after every protocol transition with the sender's
+	// post-transition state — the conformance oracle's event stream. It
+	// subsumes the single-purpose hooks above but does not replace them:
+	// each fires independently.
+	OnState func(st StateSnapshot)
 	// OnComplete fires once when the last byte is acknowledged.
 	OnComplete func(at time.Duration)
 }

@@ -73,3 +73,103 @@ func clip(s string, w int) string {
 	}
 	return s[:w]
 }
+
+// Divergence pinpoints the first difference between two event sequences:
+// the event index, the field that differs, and both rendered values.
+type Divergence struct {
+	Index int
+	Field string
+	A, B  string
+}
+
+// String renders the divergence for drift reports.
+func (d *Divergence) String() string {
+	return fmt.Sprintf("event %d: %s differs: %s != %s", d.Index, d.Field, d.A, d.B)
+}
+
+// DiffEvents returns the first divergence between two event sequences, or
+// nil when they match. Durations compare within tol (so decoded goldens,
+// normalized to microseconds, match fresh nanosecond-precision runs), with
+// one exception: an idle timer (negative deadline) never matches an armed
+// one, regardless of tolerance. A length mismatch diverges at the first
+// index present in only one sequence, with field "missing".
+func DiffEvents(a, b []Event, tol time.Duration) *Divergence {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if d := diffEvent(a[i], b[i], tol); d != nil {
+			d.Index = i
+			return d
+		}
+	}
+	if len(a) != len(b) {
+		d := &Divergence{Index: n, Field: "missing", A: "-", B: "-"}
+		if len(a) > n {
+			d.A = fmt.Sprintf("%s %s seq=%d", encodeDuration(a[n].At), a[n].Kind, a[n].Seq)
+		} else {
+			d.B = fmt.Sprintf("%s %s seq=%d", encodeDuration(b[n].At), b[n].Kind, b[n].Seq)
+		}
+		return d
+	}
+	return nil
+}
+
+// diffEvent compares one event pair; Index is filled by the caller.
+func diffEvent(a, b Event, tol time.Duration) *Divergence {
+	if a.Kind != b.Kind {
+		return &Divergence{Field: "kind", A: a.Kind.String(), B: b.Kind.String()}
+	}
+	durs := []struct {
+		name string
+		a, b time.Duration
+	}{
+		{"at", a.At, b.At},
+		{"rto", a.RTO, b.RTO},
+		{"deadline", a.Deadline, b.Deadline},
+	}
+	for _, f := range durs {
+		if !durationsMatch(f.a, f.b, tol) {
+			return &Divergence{Field: f.name, A: encodeDuration(f.a), B: encodeDuration(f.b)}
+		}
+	}
+	ints := []struct {
+		name string
+		a, b int64
+	}{
+		{"seq", a.Seq, b.Seq},
+		{"payload", a.Payload, b.Payload},
+		{"ack", a.Ack, b.Ack},
+		{"ackclass", int64(a.AckClass), int64(b.AckClass)},
+		{"cwnd", a.Cwnd, b.Cwnd},
+		{"ssthresh", a.Ssthresh, b.Ssthresh},
+		{"snduna", a.SndUna, b.SndUna},
+		{"sndnxt", a.SndNxt, b.SndNxt},
+		{"sndmax", a.SndMax, b.SndMax},
+		{"shift", int64(a.Shift), int64(b.Shift)},
+		{"dupacks", int64(a.DupAcks), int64(b.DupAcks)},
+		{"attempt", int64(a.Attempt), int64(b.Attempt)},
+		{"unit", int64(a.Unit), int64(b.Unit)},
+		{"pkt", int64(a.Pkt), int64(b.Pkt)},
+	}
+	for _, f := range ints {
+		if f.a != f.b {
+			return &Divergence{Field: f.name, A: fmt.Sprint(f.a), B: fmt.Sprint(f.b)}
+		}
+	}
+	return nil
+}
+
+// durationsMatch compares within tol, treating any negative value as the
+// idle-timer sentinel: idle matches only idle.
+func durationsMatch(a, b, tol time.Duration) bool {
+	if a < 0 || b < 0 {
+		return a < 0 && b < 0
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}

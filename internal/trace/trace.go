@@ -12,6 +12,8 @@ import (
 	"strings"
 	"time"
 
+	"wtcp/internal/bs"
+	"wtcp/internal/packet"
 	"wtcp/internal/tcp"
 	"wtcp/internal/units"
 )
@@ -31,31 +33,73 @@ const (
 	FastRetx
 	// EBSNReset is a timer re-arm caused by an EBSN.
 	EBSNReset
+	// AckIn is the source's processing of one inbound cumulative ACK.
+	AckIn
+	// QuenchIn is the source's processing of an ICMP source quench.
+	QuenchIn
+	// ECNEcho is an ECN congestion echo acted on by the source.
+	ECNEcho
+	// ARQAttempt is a base-station link-unit transmission (try or retry).
+	ARQAttempt
+	// ARQFailure is a link-ack timeout: one unsuccessful attempt.
+	ARQFailure
+	// ARQAck is a link-level acknowledgment completing a unit.
+	ARQAck
+	// ARQDiscard is a whole-packet withdrawal after RTmax retransmissions.
+	ARQDiscard
+	// EBSNSent and QuenchSent are control messages emitted by the base
+	// station toward the source.
+	EBSNSent
+	QuenchSent
+	// MHDeliver is the mobile host handing a sequenced unit up in link
+	// order; Unit carries the link sequence number.
+	MHDeliver
 )
 
-// String names the kind for CSV output.
+// kindNames maps kinds to their stable wire names (CSV, golden traces).
+var kindNames = map[EventKind]string{
+	Send:       "send",
+	Retransmit: "retransmit",
+	Timeout:    "timeout",
+	FastRetx:   "fastretx",
+	EBSNReset:  "ebsn",
+	AckIn:      "ackin",
+	QuenchIn:   "quenchin",
+	ECNEcho:    "ecnecho",
+	ARQAttempt: "arqattempt",
+	ARQFailure: "arqfailure",
+	ARQAck:     "arqack",
+	ARQDiscard: "arqdiscard",
+	EBSNSent:   "ebsnsent",
+	QuenchSent: "quenchsent",
+	MHDeliver:  "mhdeliver",
+}
+
+// String names the kind for CSV and golden output.
 func (k EventKind) String() string {
-	switch k {
-	case Send:
-		return "send"
-	case Retransmit:
-		return "retransmit"
-	case Timeout:
-		return "timeout"
-	case FastRetx:
-		return "fastretx"
-	case EBSNReset:
-		return "ebsn"
-	default:
-		return fmt.Sprintf("EventKind(%d)", int(k))
+	if n, ok := kindNames[k]; ok {
+		return n
 	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// ParseEventKind converts a stable wire name back into a kind.
+func ParseEventKind(name string) (EventKind, error) {
+	for k, n := range kindNames {
+		if n == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", name)
 }
 
 // PacketModulo is the paper's vertical-axis wraparound ("packet number mod
 // 90").
 const PacketModulo = 90
 
-// Event is one recorded occurrence.
+// Event is one recorded occurrence. The first four fields are the
+// original Figure 3-5 scatter data; the rest are the conformance fields
+// the oracle layer checks (zero where a kind does not use them).
 type Event struct {
 	At   time.Duration
 	Kind EventKind
@@ -64,12 +108,38 @@ type Event struct {
 	Seq int64
 	// PacketNo is Seq divided by the MSS — the paper's packet number.
 	PacketNo int64
+
+	// Payload is the segment's payload bytes (sender transmissions).
+	Payload int64
+	// Ack and AckClass describe an inbound cumulative ACK (AckIn); the
+	// class values mirror tcp.AckClass.
+	Ack      int64
+	AckClass int
+	// Cwnd and Ssthresh are the sender's post-transition congestion state
+	// in bytes; SndUna/SndNxt/SndMax its sequence pointers.
+	Cwnd, Ssthresh         int64
+	SndUna, SndNxt, SndMax int64
+	// RTO is the current retransmission timeout; Deadline the timer's
+	// absolute expiry (negative when idle).
+	RTO      time.Duration
+	Deadline time.Duration
+	// Shift is the Karn backoff exponent; DupAcks the duplicate-ACK run.
+	Shift   int
+	DupAcks int
+	// Attempt is the 1-based ARQ transmission count (ARQ events).
+	Attempt int
+	// Unit is the link unit's packet ID (ARQ events) or the link sequence
+	// number (MHDeliver); Pkt the owning network packet's ID.
+	Unit uint64
+	Pkt  uint64
 }
 
 // Trace accumulates events for one connection.
 type Trace struct {
 	mss    units.ByteSize
 	events []Event
+	// observer, when set, sees every recorded event with its index.
+	observer func(idx int, e Event)
 }
 
 // New returns an empty trace for a connection with the given MSS (used to
@@ -84,25 +154,111 @@ func New(mss units.ByteSize) *Trace {
 // packetNo converts a byte offset to the paper's packet number.
 func (tr *Trace) packetNo(seq int64) int64 { return seq / int64(tr.mss) }
 
-// Record appends an event.
+// Record appends a bare event (the original Figure 3-5 fields only).
 func (tr *Trace) Record(at time.Duration, kind EventKind, seq int64) {
-	tr.events = append(tr.events, Event{At: at, Kind: kind, Seq: seq, PacketNo: tr.packetNo(seq)})
+	tr.record(Event{At: at, Kind: kind, Seq: seq})
 }
 
+// record derives the packet number, appends the event, and notifies the
+// observer.
+func (tr *Trace) record(e Event) {
+	e.PacketNo = tr.packetNo(e.Seq)
+	tr.events = append(tr.events, e)
+	if tr.observer != nil {
+		tr.observer(len(tr.events)-1, e)
+	}
+}
+
+// SetObserver installs a streaming subscriber invoked synchronously for
+// every recorded event with its index — the conformance oracle's
+// attachment point. One observer at a time; nil clears it.
+func (tr *Trace) SetObserver(fn func(idx int, e Event)) { tr.observer = fn }
+
 // Hooks returns sender hooks that feed this trace. now must report the
-// simulation clock.
+// simulation clock. The state-snapshot hook drives everything: legacy
+// kinds (Send/Timeout/...) are synthesized from snapshots so each sender
+// transition records exactly one event, enriched with the conformance
+// fields.
 func (tr *Trace) Hooks(now func() time.Duration) tcp.Hooks {
 	return tcp.Hooks{
-		OnSend: func(seq int64, _ units.ByteSize, retx bool) {
-			kind := Send
-			if retx {
-				kind = Retransmit
-			}
-			tr.Record(now(), kind, seq)
+		OnState: func(st tcp.StateSnapshot) { tr.recordState(now(), st) },
+	}
+}
+
+// recordState converts one sender state snapshot into a trace event.
+func (tr *Trace) recordState(at time.Duration, st tcp.StateSnapshot) {
+	e := Event{
+		At:       at,
+		Seq:      st.Seq,
+		Payload:  int64(st.Payload),
+		Ack:      st.AckNo,
+		AckClass: int(st.AckClass),
+		Cwnd:     int64(st.Cwnd),
+		Ssthresh: int64(st.Ssthresh),
+		SndUna:   st.SndUna,
+		SndNxt:   st.SndNxt,
+		SndMax:   st.SndMax,
+		RTO:      st.RTO,
+		Deadline: st.TimerDeadline,
+		Shift:    st.BackoffShift,
+		DupAcks:  st.DupAcks,
+	}
+	switch st.Kind {
+	case tcp.StateSend:
+		e.Kind = Send
+		if st.Retransmit {
+			e.Kind = Retransmit
+		}
+	case tcp.StateAck:
+		e.Kind = AckIn
+	case tcp.StateTimeout:
+		e.Kind = Timeout
+	case tcp.StateFastRetx:
+		e.Kind = FastRetx
+	case tcp.StateEBSN:
+		e.Kind = EBSNReset
+	case tcp.StateQuench:
+		e.Kind = QuenchIn
+	case tcp.StateECN:
+		e.Kind = ECNEcho
+	default:
+		return
+	}
+	tr.record(e)
+}
+
+// BSHooks returns base-station hooks that feed this trace, interleaving
+// ARQ and notification events with the sender's in one stream.
+func (tr *Trace) BSHooks(now func() time.Duration) bs.Hooks {
+	return bs.Hooks{
+		OnARQAttempt: func(unit, pkt uint64, attempt int) {
+			tr.record(Event{At: now(), Kind: ARQAttempt, Unit: unit, Pkt: pkt, Attempt: attempt})
 		},
-		OnTimeout:        func(seq int64) { tr.Record(now(), Timeout, seq) },
-		OnFastRetransmit: func(seq int64) { tr.Record(now(), FastRetx, seq) },
-		OnEBSN:           func() { tr.Record(now(), EBSNReset, 0) },
+		OnARQFailure: func(unit, pkt uint64, attempt int) {
+			tr.record(Event{At: now(), Kind: ARQFailure, Unit: unit, Pkt: pkt, Attempt: attempt})
+		},
+		OnARQAck: func(unit, pkt uint64) {
+			tr.record(Event{At: now(), Kind: ARQAck, Unit: unit, Pkt: pkt})
+		},
+		OnARQDiscard: func(pkt uint64) {
+			tr.record(Event{At: now(), Kind: ARQDiscard, Pkt: pkt})
+		},
+		OnNotify: func(kind packet.Kind, conn int) {
+			k := EBSNSent
+			if kind == packet.SourceQuench {
+				k = QuenchSent
+			}
+			tr.record(Event{At: now(), Kind: k})
+		},
+	}
+}
+
+// MobileHook returns a sequenced-delivery observer (node.Mobile's
+// SetSequencedHook) that records MHDeliver events carrying the link
+// sequence number.
+func (tr *Trace) MobileHook(now func() time.Duration) func(*packet.Packet) {
+	return func(p *packet.Packet) {
+		tr.record(Event{At: now(), Kind: MHDeliver, Seq: p.Seq, Unit: uint64(p.LinkSeq)})
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"time"
 
+	"wtcp/internal/packet"
+	"wtcp/internal/tcp"
 	"wtcp/internal/units"
 )
 
@@ -37,18 +39,95 @@ func TestHooksFeedTrace(t *testing.T) {
 	now := time.Duration(0)
 	h := tr.Hooks(func() time.Duration { return now })
 	now = time.Second
-	h.OnSend(0, 536, false)
+	h.OnState(tcp.StateSnapshot{Kind: tcp.StateSend, Seq: 0, Payload: 536})
 	now = 2 * time.Second
-	h.OnSend(0, 536, true)
-	h.OnTimeout(0)
-	h.OnFastRetransmit(536)
-	h.OnEBSN()
+	h.OnState(tcp.StateSnapshot{Kind: tcp.StateSend, Seq: 0, Payload: 536, Retransmit: true})
+	h.OnState(tcp.StateSnapshot{Kind: tcp.StateTimeout, Seq: 0})
+	h.OnState(tcp.StateSnapshot{Kind: tcp.StateFastRetx, Seq: 536})
+	h.OnState(tcp.StateSnapshot{Kind: tcp.StateEBSN})
+	h.OnState(tcp.StateSnapshot{Kind: tcp.StateAck, AckNo: 536, AckClass: tcp.AckNew})
 	if tr.Count(Send) != 1 || tr.Count(Retransmit) != 1 ||
-		tr.Count(Timeout) != 1 || tr.Count(FastRetx) != 1 || tr.Count(EBSNReset) != 1 {
+		tr.Count(Timeout) != 1 || tr.Count(FastRetx) != 1 ||
+		tr.Count(EBSNReset) != 1 || tr.Count(AckIn) != 1 {
 		t.Errorf("hook-fed counts wrong: %+v", tr.Events())
 	}
 	if tr.Events()[0].At != time.Second {
 		t.Error("hook did not use the clock callback")
+	}
+}
+
+func TestStateSnapshotFieldsReachEvent(t *testing.T) {
+	tr := New(536)
+	h := tr.Hooks(func() time.Duration { return 5 * time.Second })
+	h.OnState(tcp.StateSnapshot{
+		Kind: tcp.StateAck, AckNo: 1072, AckClass: tcp.AckNew,
+		Cwnd: 1608, Ssthresh: 4288,
+		SndUna: 1072, SndNxt: 2144, SndMax: 2144,
+		RTO: 3 * time.Second, TimerDeadline: 8 * time.Second,
+		BackoffShift: 2, DupAcks: 1,
+	})
+	e := tr.Events()[0]
+	if e.Kind != AckIn || e.Ack != 1072 || e.AckClass != int(tcp.AckNew) {
+		t.Errorf("ack fields lost: %+v", e)
+	}
+	if e.Cwnd != 1608 || e.Ssthresh != 4288 ||
+		e.SndUna != 1072 || e.SndNxt != 2144 || e.SndMax != 2144 {
+		t.Errorf("congestion/sequence fields lost: %+v", e)
+	}
+	if e.RTO != 3*time.Second || e.Deadline != 8*time.Second || e.Shift != 2 || e.DupAcks != 1 {
+		t.Errorf("timer fields lost: %+v", e)
+	}
+}
+
+func TestBSHooksFeedTrace(t *testing.T) {
+	tr := New(536)
+	now := time.Duration(0)
+	h := tr.BSHooks(func() time.Duration { return now })
+	now = time.Second
+	h.OnARQAttempt(7, 3, 1)
+	h.OnARQFailure(7, 3, 1)
+	h.OnARQAttempt(7, 3, 2)
+	h.OnARQAck(7, 3)
+	h.OnARQDiscard(4)
+	h.OnNotify(packet.EBSN, 0)
+	h.OnNotify(packet.SourceQuench, 0)
+	if tr.Count(ARQAttempt) != 2 || tr.Count(ARQFailure) != 1 ||
+		tr.Count(ARQAck) != 1 || tr.Count(ARQDiscard) != 1 ||
+		tr.Count(EBSNSent) != 1 || tr.Count(QuenchSent) != 1 {
+		t.Errorf("bs-hook counts wrong: %+v", tr.Events())
+	}
+	first := tr.Events()[0]
+	if first.Unit != 7 || first.Pkt != 3 || first.Attempt != 1 {
+		t.Errorf("arq fields lost: %+v", first)
+	}
+	mh := tr.MobileHook(func() time.Duration { return now })
+	mh(&packet.Packet{Seq: 536, LinkSeq: 9})
+	last := tr.Events()[len(tr.Events())-1]
+	if last.Kind != MHDeliver || last.Seq != 536 || last.Unit != 9 {
+		t.Errorf("mobile hook fields lost: %+v", last)
+	}
+}
+
+func TestSetObserverStreamsEvents(t *testing.T) {
+	tr := New(536)
+	var idxs []int
+	var kinds []EventKind
+	tr.SetObserver(func(idx int, e Event) {
+		idxs = append(idxs, idx)
+		kinds = append(kinds, e.Kind)
+	})
+	tr.Record(time.Second, Send, 0)
+	tr.Record(2*time.Second, Timeout, 0)
+	tr.SetObserver(nil)
+	tr.Record(3*time.Second, Send, 536)
+	if len(idxs) != 2 || idxs[0] != 0 || idxs[1] != 1 {
+		t.Errorf("observer indices = %v, want [0 1]", idxs)
+	}
+	if kinds[0] != Send || kinds[1] != Timeout {
+		t.Errorf("observer kinds = %v", kinds)
+	}
+	if len(tr.Events()) != 3 {
+		t.Error("clearing the observer must not stop recording")
 	}
 }
 
