@@ -2,14 +2,21 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check conformance goldens bench bench-baseline bench-compare bench-smoke figures traces report fuzz fuzz-smoke clean
+.PHONY: all build vet test test-race check conformance budget-smoke goldens bench bench-baseline bench-compare bench-smoke figures traces report fuzz fuzz-smoke clean
 
 all: build vet test
 
 # Pre-PR gate: static analysis plus the full suite under the race
 # detector (the simulator is single-threaded by design; -race proves it),
-# plus the protocol-conformance gate.
-check: vet test-race conformance
+# plus the protocol-conformance and run-supervision gates.
+check: vet test-race conformance budget-smoke
+
+# Supervision gate: a tiny sweep with one pathological (livelocking)
+# point under aggressive run budgets, with the worker pool and heartbeat
+# exercised under -race. Asserts clean quarantine, partial results,
+# checkpoint + status-file + repro-bundle plumbing.
+budget-smoke:
+	$(GO) test -race -run 'TestBudgetSmoke|TestGovernedSweepQuarantinesPathologicalPoint' ./internal/experiment/
 
 # Conformance gate: the oracle/trace/ARQ suites under -race, then the
 # golden-trace drift check against the committed canonical scenarios.

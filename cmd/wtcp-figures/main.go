@@ -28,6 +28,7 @@ import (
 	"wtcp/internal/bs"
 	"wtcp/internal/experiment"
 	"wtcp/internal/prof"
+	"wtcp/internal/sim"
 )
 
 func main() {
@@ -56,6 +57,14 @@ func run(ctx context.Context, args []string) error {
 		reproDir   = fs.String("repro", "", "directory to capture failed replications as wtcp-repro bundles")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+
+		supervise   = fs.Bool("supervise", true, "quarantine pathological sweep points (reported on stderr) instead of failing the whole figure")
+		maxEvents   = fs.Int64("max-events", 0, "per-run fired-event budget (0 = engine default, negative = unlimited)")
+		maxVTime    = fs.Duration("max-vtime", 0, "per-run virtual-time budget (0 = none)")
+		runDeadline = fs.Duration("run-deadline", 0, "per-run wall-clock deadline (0 = engine default, negative = unlimited)")
+		maxHeap     = fs.Int64("max-heap", 0, "per-run heap ceiling in bytes (0 = none)")
+		noRunBudget = fs.Bool("no-run-budget", false, "disable the default per-run event and wall-clock ceilings")
+		statusPath  = fs.String("status", "", "write a health heartbeat JSON to this file while sweeping (poll it, or send SIGUSR1 for a stderr dump)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,12 +94,34 @@ func run(ctx context.Context, args []string) error {
 		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		return nil
 	}
+	var sup *experiment.Supervisor
+	if *supervise {
+		sup = experiment.NewSupervisor()
+	}
+	health := experiment.NewHealth()
+	health.SetStatusPath(*statusPath)
+	stopSig := health.NotifyOnSignal(os.Stderr)
+	defer stopSig()
+	defer func() {
+		if err := health.WriteStatus(); err != nil {
+			fmt.Fprintln(os.Stderr, "wtcp-figures:", err)
+		}
+		for _, q := range sup.Quarantined() {
+			fmt.Fprintf(os.Stderr, "quarantined: %s [%s after %d attempt(s)]: %s\n",
+				q.Key, q.Class, q.Attempts, q.Reason)
+		}
+	}()
 	opt := experiment.Options{
 		Replications: *reps,
 		BaseSeed:     *seed,
 		Checkpoint:   *checkpoint,
 		Workers:      *workers,
 		ReproDir:     *reproDir,
+		Supervise:    sup,
+		RunBudget: sim.Budget{MaxEvents: *maxEvents, MaxVirtual: *maxVTime,
+			WallClock: *runDeadline, MaxHeapBytes: *maxHeap},
+		NoRunBudget: *noRunBudget,
+		Health:      health,
 	}
 	want := func(names ...string) bool {
 		if *fig == "all" {

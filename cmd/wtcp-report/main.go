@@ -22,7 +22,9 @@ import (
 	"os/signal"
 	"syscall"
 
+	"wtcp/internal/experiment"
 	"wtcp/internal/report"
+	"wtcp/internal/sim"
 )
 
 func main() {
@@ -49,10 +51,22 @@ func run(ctx context.Context, args []string, out *os.File) (int, error) {
 		checkpoint = fs.String("checkpoint", "", "checkpoint file: finished sweep points are saved here and an interrupted run resumes from them")
 		workers    = fs.Int("workers", 1, "replications run concurrently per sweep point (results are identical for any value)")
 		reproDir   = fs.String("repro", "", "directory to capture failed replications as wtcp-repro bundles")
+
+		supervise   = fs.Bool("supervise", true, "quarantine pathological sweep points (listed in the report) instead of failing the whole suite")
+		maxEvents   = fs.Int64("max-events", 0, "per-run fired-event budget (0 = engine default, negative = unlimited)")
+		maxVTime    = fs.Duration("max-vtime", 0, "per-run virtual-time budget (0 = none)")
+		runDeadline = fs.Duration("run-deadline", 0, "per-run wall-clock deadline (0 = engine default, negative = unlimited)")
+		maxHeap     = fs.Int64("max-heap", 0, "per-run heap ceiling in bytes (0 = none)")
+		noRunBudget = fs.Bool("no-run-budget", false, "disable the default per-run event and wall-clock ceilings")
+		statusPath  = fs.String("status", "", "write a health heartbeat JSON to this file while the suite runs (poll it, or send SIGUSR1 for a stderr dump)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1, err
 	}
+	health := experiment.NewHealth()
+	health.SetStatusPath(*statusPath)
+	stopSig := health.NotifyOnSignal(os.Stderr)
+	defer stopSig()
 	md, err := report.Generate(ctx, report.Options{
 		Replications: *reps,
 		Quick:        *quick,
@@ -60,7 +74,15 @@ func run(ctx context.Context, args []string, out *os.File) (int, error) {
 		Checkpoint:   *checkpoint,
 		Workers:      *workers,
 		ReproDir:     *reproDir,
+		Supervise:    *supervise,
+		RunBudget: sim.Budget{MaxEvents: *maxEvents, MaxVirtual: *maxVTime,
+			WallClock: *runDeadline, MaxHeapBytes: *maxHeap},
+		NoRunBudget: *noRunBudget,
+		Health:      health,
 	})
+	if werr := health.WriteStatus(); werr != nil {
+		fmt.Fprintln(os.Stderr, "wtcp-report:", werr)
+	}
 	if err != nil {
 		return 1, err
 	}

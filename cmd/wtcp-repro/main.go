@@ -43,13 +43,16 @@ func main() {
 
 // result is the -json output shape.
 type result struct {
-	Bundle     string        `json:"bundle"`
-	Origin     string        `json:"origin,omitempty"`
-	WantKind   string        `json:"want_kind"`
-	GotKind    string        `json:"got_kind"`
-	Failure    string        `json:"failure,omitempty"`
-	Reproduced bool          `json:"reproduced"`
-	Shrink     *shrinkResult `json:"shrink,omitempty"`
+	Bundle      string        `json:"bundle"`
+	Origin      string        `json:"origin,omitempty"`
+	WantKind    string        `json:"want_kind"`
+	GotKind     string        `json:"got_kind"`
+	BudgetKind  string        `json:"budget_kind,omitempty"`
+	BudgetLimit int64         `json:"budget_limit,omitempty"`
+	BudgetValue int64         `json:"budget_value,omitempty"`
+	Failure     string        `json:"failure,omitempty"`
+	Reproduced  bool          `json:"reproduced"`
+	Shrink      *shrinkResult `json:"shrink,omitempty"`
 }
 
 type shrinkResult struct {
@@ -77,13 +80,17 @@ func run(ctx context.Context, args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 1, err
 	}
-	res := result{Bundle: *bundlePath, Origin: b.Origin, WantKind: b.Kind}
+	res := result{Bundle: *bundlePath, Origin: b.Origin, WantKind: b.Kind,
+		BudgetKind: b.BudgetKind, BudgetLimit: b.BudgetLimit, BudgetValue: b.BudgetValue}
 	if !*asJSON {
 		fmt.Fprintf(out, "bundle: %s\n", *bundlePath)
 		if b.Origin != "" {
 			fmt.Fprintf(out, "origin: %s\n", b.Origin)
 		}
 		fmt.Fprintf(out, "captured failure: [%s] %s\n", b.Kind, b.Failure)
+		if b.Kind == repro.KindBudget {
+			fmt.Fprintf(out, "budget: %s ceiling %d exhausted at %d\n", b.BudgetKind, b.BudgetLimit, b.BudgetValue)
+		}
 	}
 
 	if *shrink {

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -16,7 +17,9 @@ import (
 
 	"wtcp/internal/bs"
 	"wtcp/internal/core"
+	"wtcp/internal/experiment"
 	"wtcp/internal/prof"
+	"wtcp/internal/sim"
 	"wtcp/internal/stats"
 	"wtcp/internal/units"
 )
@@ -46,6 +49,13 @@ func run(args []string) error {
 		strict     = fs.Bool("strict", false, "arm the protocol-conformance oracle: abort the run on the first Tahoe/ARQ/EBSN rule violation, naming the rule and event")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+
+		maxEvents   = fs.Int64("max-events", 0, "per-run fired-event budget (0 = engine default, negative = unlimited)")
+		maxVTime    = fs.Duration("max-vtime", 0, "per-run virtual-time budget (0 = none)")
+		runDeadline = fs.Duration("run-deadline", 0, "per-run wall-clock deadline (0 = engine default, negative = unlimited)")
+		maxHeap     = fs.Int64("max-heap", 0, "per-run heap ceiling in bytes (0 = none)")
+		noRunBudget = fs.Bool("no-run-budget", false, "disable the default per-run event and wall-clock ceilings")
+		statusPath  = fs.String("status", "", "write a health heartbeat JSON to this file while running (poll it, or send SIGUSR1 for a stderr dump)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +109,15 @@ func run(args []string) error {
 		if *strict {
 			cfg.Oracle = true
 		}
+		// Budget flags override the scenario file's budget field by field;
+		// whatever neither sets falls back to the engine defaults (the
+		// same-instant-livelock guard) unless -no-run-budget.
+		b := sim.Budget{MaxEvents: *maxEvents, MaxVirtual: *maxVTime,
+			WallClock: *runDeadline, MaxHeapBytes: *maxHeap}.Or(cfg.Budget)
+		if !*noRunBudget {
+			b = b.Or(sim.Budget{MaxEvents: experiment.DefaultRunMaxEvents, WallClock: experiment.DefaultRunWall})
+		}
+		cfg.Budget = b
 		return cfg
 	}
 
@@ -112,11 +131,29 @@ func run(args []string) error {
 			cfg.Channel.MeanBad, cfg.Channel.MeanGood, cfg.TheoreticalMaxKbps())
 	}
 
+	health := experiment.NewHealth()
+	health.SetStatusPath(*statusPath)
+	stopSig := health.NotifyOnSignal(os.Stderr)
+	defer stopSig()
+
 	var tput, goodput, retrans, timeouts stats.Sample
 	var last *core.Result
-	aborted := 0
+	aborted, exhausted := 0, 0
 	for i := 0; i < *reps; i++ {
-		r, err := core.Run(build(*seed + int64(i)))
+		repCfg := build(*seed + int64(i))
+		hid := health.RunStarted("wtcp-sim", repCfg.Seed)
+		r, err := core.Run(repCfg)
+		var events uint64
+		if r != nil {
+			events = r.Events
+		}
+		health.RunFinished(hid, events, err == nil && !(r != nil && r.Aborted))
+		var be *sim.BudgetError
+		if errors.As(err, &be) {
+			exhausted++
+			fmt.Fprintf(os.Stderr, "rep %d: %v\n", i+1, be)
+			continue
+		}
 		if err != nil {
 			return err
 		}
@@ -136,14 +173,25 @@ func run(args []string) error {
 		timeouts.Add(float64(r.Summary.Timeouts))
 		last = r
 	}
+	if err := health.WriteStatus(); err != nil {
+		fmt.Fprintln(os.Stderr, "wtcp-sim:", err)
+	}
 	if tput.N() == 0 {
-		if aborted > 0 {
+		switch {
+		case exhausted > 0 && aborted == 0:
+			return fmt.Errorf("every replication exhausted its resource budget (%d of %d); raise -max-events/-run-deadline or pass -no-run-budget if the scenario is legitimately this heavy", exhausted, *reps)
+		case aborted > 0 && exhausted == 0:
 			return fmt.Errorf("every replication was aborted by the watchdog (%d of %d); the scenario's faults leave the transfer no way to finish", aborted, *reps)
+		case aborted > 0:
+			return fmt.Errorf("every replication was halted (%d watchdog aborts, %d budget exhaustions of %d reps)", aborted, exhausted, *reps)
 		}
 		return fmt.Errorf("no replication completed")
 	}
 	if aborted > 0 {
 		fmt.Fprintf(os.Stderr, "%d of %d replications aborted by the watchdog; summary covers the rest\n", aborted, *reps)
+	}
+	if exhausted > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d replications exhausted a resource budget; summary covers the rest\n", exhausted, *reps)
 	}
 	if *jsonOut {
 		return emitJSON(cfg, &tput, &goodput, &retrans, &timeouts, last)

@@ -10,6 +10,7 @@ import (
 	"wtcp/internal/bs"
 	"wtcp/internal/chaos"
 	"wtcp/internal/core"
+	"wtcp/internal/sim"
 	"wtcp/internal/tcp"
 	"wtcp/internal/units"
 )
@@ -27,6 +28,7 @@ import (
 //	  "sack": true,
 //	  "seed": 7,
 //	  "checks": true,
+//	  "budget": {"max_events": 2000000, "wall_clock": "1m"},
 //	  "chaos": {
 //	    "blackouts": [{"link": "wireless-down", "at": "5s", "length": "3s"}],
 //	    "crashes":   [{"at": "20s", "downtime": "2s"}],
@@ -58,10 +60,49 @@ type scenarioFile struct {
 	// Robustness knobs: Chaos holds an inline fault-injection plan (see
 	// internal/chaos for the schema), Checks enables runtime invariant
 	// checking, and Stall tunes the no-progress watchdog window ("5m";
-	// "off" disables it).
+	// "off" disables it). Budget bounds the run's resource consumption;
+	// exhausting any ceiling halts the run with a budget error.
 	Chaos  json.RawMessage `json:"chaos"`
 	Checks bool            `json:"checks"`
 	Stall  string          `json:"stall"`
+	Budget *scenarioBudget `json:"budget"`
+}
+
+// scenarioBudget is the JSON shape of a resource budget:
+//
+//	"budget": {"max_events": 2000000, "max_virtual": "30m",
+//	           "wall_clock": "1m", "max_heap_bytes": 268435456}
+//
+// Omitted fields impose no ceiling from the file (command-line budget
+// flags and the default run budget still layer on top); durations
+// accept "off" for explicitly unlimited.
+type scenarioBudget struct {
+	MaxEvents    int64  `json:"max_events"`
+	MaxVirtual   string `json:"max_virtual"`
+	WallClock    string `json:"wall_clock"`
+	MaxHeapBytes int64  `json:"max_heap_bytes"`
+}
+
+// build converts the JSON budget into sim's representation.
+func (sb scenarioBudget) build() (sim.Budget, error) {
+	b := sim.Budget{MaxEvents: sb.MaxEvents, MaxHeapBytes: sb.MaxHeapBytes}
+	var err error
+	if b.MaxVirtual, err = parseBudgetDur("budget.max_virtual", sb.MaxVirtual); err != nil {
+		return sim.Budget{}, err
+	}
+	if b.WallClock, err = parseBudgetDur("budget.wall_clock", sb.WallClock); err != nil {
+		return sim.Budget{}, err
+	}
+	return b, nil
+}
+
+// parseBudgetDur parses an optional budget duration; "off" means
+// explicitly unlimited (negative, which survives default layering).
+func parseBudgetDur(field, v string) (time.Duration, error) {
+	if v == "off" {
+		return -1, nil
+	}
+	return parsePositiveDur(field, v)
 }
 
 // loadScenario reads and validates a JSON scenario into a runnable
@@ -234,6 +275,13 @@ func (sf scenarioFile) build() (core.Config, error) {
 		}
 	}
 	cfg.Checks = sf.Checks
+	if sf.Budget != nil {
+		b, err := sf.Budget.build()
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Budget = b
+	}
 	switch sf.Stall {
 	case "":
 	case "off":

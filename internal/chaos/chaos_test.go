@@ -355,6 +355,8 @@ func FuzzChaosParse(f *testing.F) {
 		`{"crashes":[{"at":"1s","downtime":"500ms"},{"at":"5s","downtime":"1s"}]}`,
 		`{"notify":{"loss_prob":1}}`,
 		`{"packets":[{"link":"wireless-down","dup_prob":0.5}]}`,
+		`{"event_storms":[{"at":"5s","count":100,"spacing":"1ms"}]}`,
+		`{"event_storms":[{"at":"1s","count":-2}]}`,
 		`{"blackouts":[{"link":"nope","at":"1s","length":"1s"}]}`,
 		`{"storms":[{"link":"wired-fwd","at":"-1s","length":"1s","loss_prob":2}]}`,
 		`{"bogus":true}`,
@@ -373,4 +375,91 @@ func FuzzChaosParse(f *testing.F) {
 			t.Errorf("Parse accepted a plan that fails Validate: %v\ninput: %s", verr, data)
 		}
 	})
+}
+
+func TestParseEventStorms(t *testing.T) {
+	cfg, err := Parse([]byte(`{"event_storms":[
+		{"at": "5s", "count": 1000, "spacing": "1ms"},
+		{"at": "2s"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Enabled() {
+		t.Error("event-storm plan reports disabled")
+	}
+	if len(cfg.EventStorms) != 2 {
+		t.Fatalf("event storms = %+v", cfg.EventStorms)
+	}
+	if es := cfg.EventStorms[0]; es.At != 5*time.Second || es.Count != 1000 || es.Spacing != time.Millisecond {
+		t.Errorf("bounded storm = %+v", es)
+	}
+	if es := cfg.EventStorms[1]; es.At != 2*time.Second || es.Count != 0 || es.Spacing != 0 {
+		t.Errorf("unbounded livelock storm = %+v", es)
+	}
+	// Horizon covers the bounded storm's last event; the unbounded one
+	// contributes only its start.
+	if got, want := cfg.Horizon(), 5*time.Second+999*time.Millisecond; got != want {
+		t.Errorf("Horizon() = %v, want %v", got, want)
+	}
+
+	for _, bad := range []struct{ name, body, want string }{
+		{"missing at", `{"event_storms":[{"count":5}]}`, "at is required"},
+		{"negative count", `{"event_storms":[{"at":"1s","count":-1}]}`, "negative count"},
+		{"negative spacing", `{"event_storms":[{"at":"1s","spacing":"-1ms"}]}`, "negative spacing"},
+	} {
+		if _, err := Parse([]byte(bad.body)); err == nil || !strings.Contains(err.Error(), bad.want) {
+			t.Errorf("%s: err = %v, want mention of %q", bad.name, err, bad.want)
+		}
+	}
+}
+
+// TestEventStormLivelockCaughtByBudget: an unbounded zero-spacing storm
+// is a same-instant livelock — the virtual clock freezes at the storm's
+// start, so only the event budget can end the run.
+func TestEventStormLivelockCaughtByBudget(t *testing.T) {
+	s := sim.New()
+	cfg := &Config{EventStorms: []EventStorm{{At: time.Second}}}
+	inj, err := New(s, cfg, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.ScheduleEventStorms()
+	s.SetBudget(sim.Budget{MaxEvents: 10_000})
+
+	err = s.RunAll()
+	be, ok := err.(*sim.BudgetError)
+	if !ok {
+		t.Fatalf("RunAll returned %v, want *sim.BudgetError", err)
+	}
+	if be.Kind != sim.BudgetEvents {
+		t.Fatalf("kind = %q, want events", be.Kind)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("clock at %v, want frozen at the storm start (1s)", s.Now())
+	}
+	if inj.Stats().EventStormEvents == 0 {
+		t.Fatal("no storm events counted")
+	}
+}
+
+// TestEventStormBoundedIsBenign: a bounded storm fires exactly Count
+// events and the run drains normally — benign chaos must not need a
+// budget to finish.
+func TestEventStormBoundedIsBenign(t *testing.T) {
+	s := sim.New()
+	cfg := &Config{EventStorms: []EventStorm{{At: time.Second, Count: 500, Spacing: time.Millisecond}}}
+	inj, err := New(s, cfg, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.ScheduleEventStorms()
+	if err := s.RunAll(); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	if got := inj.Stats().EventStormEvents; got != 500 {
+		t.Fatalf("storm events = %d, want 500", got)
+	}
+	if want := time.Second + 499*time.Millisecond; s.Now() != want {
+		t.Fatalf("clock at %v, want %v", s.Now(), want)
+	}
 }

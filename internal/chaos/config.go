@@ -109,14 +109,35 @@ func (p PacketFaults) enabled() bool {
 	return p.CorruptProb > 0 || p.DupProb > 0 || (p.ReorderProb > 0 && p.ReorderDelay > 0)
 }
 
+// EventStorm is a resource-exhaustion fault: starting at At it floods
+// the event queue with Count self-rescheduling kernel events spaced
+// Spacing apart. It models a runaway component (a timer storm, a
+// pathological retry loop) that burns scheduler capacity without
+// touching any packet. A Spacing of zero reproduces the same-instant
+// livelock shape — every storm event fires at the same virtual instant,
+// so the clock never advances and neither the horizon nor the
+// virtual-time watchdog can end the run; only an event or wall-clock
+// budget (sim.Budget) stops it. A Count of zero makes the storm
+// unbounded: it runs until a budget, cancellation, or (with positive
+// spacing) the horizon halts the run.
+type EventStorm struct {
+	At time.Duration
+	// Count is the number of storm events; 0 = unbounded.
+	Count int64
+	// Spacing is the delay between consecutive storm events; 0 = all at
+	// the same instant (the livelock shape).
+	Spacing time.Duration
+}
+
 // Config is a complete fault-injection plan. The zero value injects
 // nothing.
 type Config struct {
-	Blackouts []Blackout
-	Storms    []Storm
-	Crashes   []Crash
-	Notify    NotifyFaults
-	Packets   []PacketFaults
+	Blackouts   []Blackout
+	Storms      []Storm
+	Crashes     []Crash
+	Notify      NotifyFaults
+	Packets     []PacketFaults
+	EventStorms []EventStorm
 }
 
 // Enabled reports whether the plan injects any fault at all.
@@ -124,7 +145,8 @@ func (c *Config) Enabled() bool {
 	if c == nil {
 		return false
 	}
-	if len(c.Blackouts) > 0 || len(c.Storms) > 0 || len(c.Crashes) > 0 || c.Notify.enabled() {
+	if len(c.Blackouts) > 0 || len(c.Storms) > 0 || len(c.Crashes) > 0 ||
+		c.Notify.enabled() || len(c.EventStorms) > 0 {
 		return true
 	}
 	for _, p := range c.Packets {
@@ -244,6 +266,16 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("chaos: reorder probability set on %s but reorder delay is zero; set the delay or drop the probability", p.Link)
 		}
 	}
+	for i, es := range c.EventStorms {
+		switch {
+		case es.At < 0:
+			return fmt.Errorf("chaos: event storm %d starts before time zero", i)
+		case es.Count < 0:
+			return fmt.Errorf("chaos: event storm %d has a negative count (0 means unbounded)", i)
+		case es.Spacing < 0:
+			return fmt.Errorf("chaos: event storm %d has a negative spacing", i)
+		}
+	}
 	return nil
 }
 
@@ -290,7 +322,8 @@ func (c *Config) OverlayChannel(link string, base errmodel.Channel) (errmodel.Ch
 //	  "crashes":   [{"at": "20s", "downtime": "2s"}],
 //	  "notify":    {"loss_prob": 0.5, "dup_prob": 0.1, "delay_prob": 0.2, "delay": "300ms"},
 //	  "packets":   [{"link": "wireless-up", "corrupt_prob": 0.01, "dup_prob": 0.01,
-//	                 "reorder_prob": 0.02, "reorder_delay": "50ms"}]
+//	                 "reorder_prob": 0.02, "reorder_delay": "50ms"}],
+//	  "event_storms": [{"at": "5s", "count": 100000, "spacing": "0s"}]
 //	}
 
 type jsonBlackout struct {
@@ -326,12 +359,19 @@ type jsonPacketFaults struct {
 	ReorderDelay string  `json:"reorder_delay"`
 }
 
+type jsonEventStorm struct {
+	At      string `json:"at"`
+	Count   int64  `json:"count"`
+	Spacing string `json:"spacing"`
+}
+
 type jsonConfig struct {
-	Blackouts []jsonBlackout     `json:"blackouts"`
-	Storms    []jsonStorm        `json:"storms"`
-	Crashes   []jsonCrash        `json:"crashes"`
-	Notify    *jsonNotify        `json:"notify"`
-	Packets   []jsonPacketFaults `json:"packets"`
+	Blackouts   []jsonBlackout     `json:"blackouts"`
+	Storms      []jsonStorm        `json:"storms"`
+	Crashes     []jsonCrash        `json:"crashes"`
+	Notify      *jsonNotify        `json:"notify"`
+	Packets     []jsonPacketFaults `json:"packets"`
+	EventStorms []jsonEventStorm   `json:"event_storms"`
 }
 
 // parseDur parses a required duration field.
@@ -413,6 +453,17 @@ func Parse(data []byte) (*Config, error) {
 			DelayProb: jc.Notify.DelayProb,
 			Delay:     delay,
 		}
+	}
+	for i, es := range jc.EventStorms {
+		at, err := parseDur(fmt.Sprintf("event_storms[%d].at", i), es.At)
+		if err != nil {
+			return nil, err
+		}
+		spacing, err := parseOptDur(fmt.Sprintf("event_storms[%d].spacing", i), es.Spacing)
+		if err != nil {
+			return nil, err
+		}
+		cfg.EventStorms = append(cfg.EventStorms, EventStorm{At: at, Count: es.Count, Spacing: spacing})
 	}
 	for i, p := range jc.Packets {
 		rd, err := parseOptDur(fmt.Sprintf("packets[%d].reorder_delay", i), p.ReorderDelay)

@@ -29,6 +29,9 @@ type Stats struct {
 	// counts the forwarding state lost with them.
 	Crashes          uint64
 	CrashLostPackets uint64
+	// EventStormEvents counts kernel events fired by event storms (the
+	// resource-exhaustion fault).
+	EventStormEvents uint64
 }
 
 // Crashable is the station-side contract for crash injection. Crash
@@ -184,6 +187,29 @@ func (in *Injector) ScheduleCrashes(target Crashable) {
 	}
 }
 
+// ScheduleEventStorms arms the plan's event storms: each floods the
+// kernel with self-rescheduling events starting at its At. The storm
+// touches no packets and draws no randomness — its entire effect is
+// scheduler load, which is exactly what a resource budget (sim.Budget)
+// exists to bound. An unbounded zero-spacing storm is a deliberate
+// same-instant livelock: without an event budget nothing ends the run.
+func (in *Injector) ScheduleEventStorms() {
+	for _, es := range in.cfg.EventStorms {
+		es := es
+		fired := int64(0)
+		var tick func()
+		tick = func() {
+			in.stats.EventStormEvents++
+			fired++
+			if es.Count > 0 && fired >= es.Count {
+				return
+			}
+			in.sim.Schedule(es.Spacing, tick)
+		}
+		in.sim.ScheduleAt(es.At, tick)
+	}
+}
+
 // Horizon reports the virtual time of the last scheduled fault (the end
 // of the latest window, crash downtime, or zero when the plan only has
 // probabilistic faults). Scenario runners can use it to sanity-check that
@@ -206,6 +232,13 @@ func (c *Config) Horizon() time.Duration {
 	}
 	for _, cr := range c.Crashes {
 		bump(cr.At + cr.Downtime)
+	}
+	for _, es := range c.EventStorms {
+		end := es.At
+		if es.Count > 0 {
+			end += time.Duration(es.Count-1) * es.Spacing
+		}
+		bump(end)
 	}
 	return h
 }

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/chaos"
+	"wtcp/internal/sim"
+)
+
+func TestClassifyTable(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want FailureClass
+	}{
+		{"nil", nil, ClassNone},
+		{"cancel", &sim.CancelError{At: 0, Err: context.Canceled}, ClassCanceled},
+		{"ctx-canceled", context.Canceled, ClassCanceled},
+		{"ctx-deadline", context.DeadlineExceeded, ClassCanceled},
+		{"budget", &sim.BudgetError{Kind: sim.BudgetEvents, Limit: 1, Value: 1}, ClassResourceExhausted},
+		{"check", &sim.CheckError{Name: "inv", Err: errors.New("boom")}, ClassProtocolBug},
+		{"panic", &PanicError{Value: "boom"}, ClassPanic},
+		{"stall", &sim.StallError{At: time.Second}, ClassTransient},
+		{"unknown", errors.New("mystery"), ClassTransient},
+		// Engine-side annotation must not change the class.
+		{"wrapped-budget", fmt.Errorf("seed 7: %w", &sim.BudgetError{Kind: sim.BudgetWall}), ClassResourceExhausted},
+		{"wrapped-check", fmt.Errorf("point x: %w", &sim.CheckError{Name: "oracle"}), ClassProtocolBug},
+		{"wrapped-cancel", fmt.Errorf("rep 3: %w", context.Canceled), ClassCanceled},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify(%v) = %s, want %s", tc.name, tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestBudgetSurfacesThroughRun: a budgeted Config aborts with a
+// *sim.BudgetError as the run error, classified resource-exhausted, and
+// a run that stays within budget is bit-identical to an unbudgeted one.
+func TestBudgetSurfacesThroughRun(t *testing.T) {
+	cfg := WAN(bs.EBSN, 576, 2*time.Second)
+	cfg.TransferSize = 10 * 1024
+
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("unbudgeted run: %v", err)
+	}
+	if !base.Completed {
+		t.Fatal("unbudgeted run did not complete")
+	}
+	if base.Events == 0 {
+		t.Fatal("Result.Events not populated")
+	}
+
+	// Generous ceilings: identical outcome, bit for bit.
+	within := cfg
+	within.Budget = sim.Budget{MaxEvents: int64(base.Events) * 10, WallClock: time.Minute}
+	got, err := Run(within)
+	if err != nil {
+		t.Fatalf("budgeted run: %v", err)
+	}
+	got.Config = base.Config // only the Budget field differs, by construction
+	if *got != *base {
+		t.Fatalf("budgeted run diverged from unbudgeted run:\n got %+v\nwant %+v", got, base)
+	}
+
+	// A ceiling below the run's needs aborts with the typed error.
+	starved := cfg
+	starved.Budget = sim.Budget{MaxEvents: int64(base.Events) / 4}
+	_, err = Run(starved)
+	var be *sim.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("starved run returned %v, want *sim.BudgetError", err)
+	}
+	if be.Kind != sim.BudgetEvents {
+		t.Fatalf("kind = %q, want events", be.Kind)
+	}
+	if Classify(err) != ClassResourceExhausted {
+		t.Fatalf("Classify(%v) = %s, want resource-exhausted", err, Classify(err))
+	}
+}
+
+// TestBudgetSurfacesThroughSplitRun: the split-connection runner is
+// governed too.
+func TestBudgetSurfacesThroughSplitRun(t *testing.T) {
+	cfg := WAN(bs.SplitConnection, 576, 2*time.Second)
+	cfg.TransferSize = 10 * 1024
+	cfg.Budget = sim.Budget{MaxEvents: 50}
+	_, err := Run(cfg)
+	var be *sim.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("split run returned %v, want *sim.BudgetError", err)
+	}
+}
+
+// TestEventStormChaosClassifiedResourceExhausted: the chaos layer's
+// resource-exhaustion fault (an unbounded same-instant event storm)
+// trips the event budget through a full topology run, and the failure
+// classifies as resource-exhausted — the class that quarantines a sweep
+// point. A benign (bounded) storm on the same scenario completes clean.
+func TestEventStormChaosClassifiedResourceExhausted(t *testing.T) {
+	cfg := WAN(bs.EBSN, 576, 2*time.Second)
+	cfg.TransferSize = 10 * 1024
+	cfg.Budget = sim.Budget{MaxEvents: 200_000}
+
+	// Pathological: livelock at 1s, long before the transfer can finish.
+	patho := cfg
+	patho.Chaos = &chaos.Config{EventStorms: []chaos.EventStorm{{At: time.Second}}}
+	_, err := Run(patho)
+	var be *sim.BudgetError
+	if !errors.As(err, &be) || be.Kind != sim.BudgetEvents {
+		t.Fatalf("pathological run returned %v, want events *sim.BudgetError", err)
+	}
+	if got := Classify(err); got != ClassResourceExhausted {
+		t.Fatalf("Classify = %s, want resource-exhausted", got)
+	}
+
+	// Benign: a bounded storm well within the event budget.
+	benign := cfg
+	benign.Chaos = &chaos.Config{EventStorms: []chaos.EventStorm{{At: time.Second, Count: 100, Spacing: time.Millisecond}}}
+	res, err := Run(benign)
+	if err != nil {
+		t.Fatalf("benign storm run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatalf("benign storm run did not complete (aborted=%v reason=%q)", res.Aborted, res.AbortReason)
+	}
+	if res.Chaos == nil || res.Chaos.EventStormEvents != 100 {
+		t.Fatalf("chaos stats = %+v, want 100 storm events", res.Chaos)
+	}
+}

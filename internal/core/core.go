@@ -126,6 +126,14 @@ type Config struct {
 	// Chaos are active (chaos can wedge a transfer by design); a negative
 	// value disables it.
 	Stall time.Duration
+	// Budget bounds the run's resource consumption: fired events (the
+	// same-instant livelock guard the watchdog cannot provide), virtual
+	// time, wall-clock time, and heap bytes. Exhaustion halts the run
+	// with a *sim.BudgetError as the run error. The zero value imposes
+	// no ceilings; the experiment engine layers its own defaults on top
+	// (see experiment.Options). The budget reads no simulation state, so
+	// a run that stays within it is bit-identical to an unbudgeted run.
+	Budget sim.Budget
 
 	// Seed drives all randomness in the run (channel, corruption draws,
 	// ARQ backoff).
@@ -315,6 +323,10 @@ type Result struct {
 	Trace *trace.Trace
 	Cwnd  *trace.CwndSeries
 
+	// Events counts the kernel events the run fired — the engine's
+	// health telemetry aggregates it into an events/sec rate.
+	Events uint64
+
 	// Aborted marks a run halted by the no-progress watchdog;
 	// AbortReason carries its diagnostic snapshot. An aborted run's
 	// Summary reflects progress up to the abort, like a horizon-capped
@@ -385,6 +397,7 @@ func RunContext(ctx context.Context, cfg Config) (res *Result, err error) {
 	if cfg.Scheme == bs.SplitConnection {
 		s := sim.Acquire()
 		pooled = s
+		s.SetBudget(cfg.Budget)
 		return runSplit(ctx, cfg, s)
 	}
 
@@ -529,6 +542,7 @@ func (tp *topology) result(cfg Config) *Result {
 	res := &Result{
 		Config:       cfg,
 		Completed:    tp.sender.Done(),
+		Events:       tp.sim.Fired(),
 		Sender:       tp.sender.Stats(),
 		Sink:         tp.sink.Stats(),
 		BS:           tp.bs.Stats(),
@@ -557,6 +571,7 @@ func newTopology(cfg Config, streaming bool) (*topology, error) {
 	// release the simulator when they finish (see RunContext, RunWeb,
 	// RunTelnet).
 	s := sim.Acquire()
+	s.SetBudget(cfg.Budget)
 	ids := &packet.IDGen{}
 	rng := sim.NewRNG(cfg.Seed)
 
@@ -743,6 +758,7 @@ func newTopology(cfg Config, streaming bool) (*topology, error) {
 		inj.Attach(wirelessDown)
 		inj.Attach(wirelessUp)
 		inj.ScheduleCrashes(station)
+		inj.ScheduleEventStorms()
 		tp.chaos = inj
 	}
 	return tp, nil

@@ -172,6 +172,7 @@ func runSplit(ctx context.Context, cfg Config, s *sim.Simulator) (*Result, error
 	res := &Result{
 		Config:        cfg,
 		Completed:     wsSender.Done(),
+		Events:        s.Fired(),
 		Sender:        fhSender.Stats(),
 		SplitWireless: statsPtr(wsSender.Stats()),
 		Sink:          mhSink.Stats(),

@@ -28,6 +28,11 @@ type checkpointFile struct {
 	Version     int           `json:"version"`
 	Fingerprint string        `json:"fingerprint"`
 	Points      []pointRecord `json:"points"`
+	// Quarantined lists points the circuit breaker removed, in the
+	// order the sweep reached them. The field is additive (absent in
+	// older files), so the version stays at 1. A resumed sweep replays
+	// these instead of re-running the pathological point.
+	Quarantined []Quarantine `json:"quarantined,omitempty"`
 }
 
 // checkpoint is the in-memory store behind a checkpoint file. Several
@@ -38,14 +43,17 @@ type checkpoint struct {
 	path        string
 	fingerprint string
 
-	mu     sync.Mutex
-	order  []string
-	points map[string][]repRecord
+	mu        sync.Mutex
+	order     []string
+	points    map[string][]repRecord
+	quarOrder []string
+	quars     map[string]Quarantine
 }
 
 // openCheckpoint loads path if it exists, or prepares an empty store.
 func openCheckpoint(path, fingerprint string) (*checkpoint, error) {
-	ck := &checkpoint{path: path, fingerprint: fingerprint, points: map[string][]repRecord{}}
+	ck := &checkpoint{path: path, fingerprint: fingerprint,
+		points: map[string][]repRecord{}, quars: map[string]Quarantine{}}
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return ck, nil
@@ -72,6 +80,13 @@ func openCheckpoint(path, fingerprint string) (*checkpoint, error) {
 		ck.points[p.Key] = p.Reps
 		ck.order = append(ck.order, p.Key)
 	}
+	for _, q := range f.Quarantined {
+		if _, dup := ck.quars[q.Key]; dup {
+			return nil, fmt.Errorf("experiment: checkpoint %s repeats quarantined point %q", path, q.Key)
+		}
+		ck.quars[q.Key] = q
+		ck.quarOrder = append(ck.quarOrder, q.Key)
+	}
 	return ck, nil
 }
 
@@ -84,10 +99,7 @@ func (ck *checkpoint) get(key string) ([]repRecord, bool) {
 	return reps, ok
 }
 
-// put records a finished point and persists the whole store atomically:
-// the file is fully written to a temp name in the same directory and
-// renamed over the old one, so a kill at any instant leaves either the
-// previous complete checkpoint or the new one — never a torn file.
+// put records a finished point and persists the whole store atomically.
 func (ck *checkpoint) put(key string, reps []repRecord) error {
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
@@ -95,9 +107,40 @@ func (ck *checkpoint) put(key string, reps []repRecord) error {
 		ck.order = append(ck.order, key)
 	}
 	ck.points[key] = reps
+	return ck.persistLocked()
+}
+
+// getQuarantine returns the recorded quarantine for key, if the point
+// was removed by the circuit breaker in an earlier (or killed) run.
+func (ck *checkpoint) getQuarantine(key string) (Quarantine, bool) {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	q, ok := ck.quars[key]
+	return q, ok
+}
+
+// putQuarantine records a quarantined point and persists the store.
+func (ck *checkpoint) putQuarantine(q Quarantine) error {
+	ck.mu.Lock()
+	defer ck.mu.Unlock()
+	if _, dup := ck.quars[q.Key]; !dup {
+		ck.quarOrder = append(ck.quarOrder, q.Key)
+	}
+	ck.quars[q.Key] = q
+	return ck.persistLocked()
+}
+
+// persistLocked writes the whole store atomically: the file is fully
+// written to a temp name in the same directory and renamed over the old
+// one, so a kill at any instant leaves either the previous complete
+// checkpoint or the new one — never a torn file. Caller holds ck.mu.
+func (ck *checkpoint) persistLocked() error {
 	f := checkpointFile{Version: checkpointVersion, Fingerprint: ck.fingerprint}
 	for _, k := range ck.order {
 		f.Points = append(f.Points, pointRecord{Key: k, Reps: ck.points[k]})
+	}
+	for _, k := range ck.quarOrder {
+		f.Quarantined = append(f.Quarantined, ck.quars[k])
 	}
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {

@@ -84,7 +84,16 @@ func seedsOf(reps []repRecord) []int64 {
 // maps a successful run to the point's metric vector. A replication
 // that still fails after its retries is skipped; runPoint errors only
 // when every replication failed (a point built from zero samples would
-// silently fabricate results) or ctx ended.
+// silently fabricate results), a replication hit a fail-fast failure
+// class (protocol-bug, panic), or ctx ended.
+//
+// With a Supervisor configured, a point whose breaker trips (any
+// replication resource-exhausted, or every replication permanently
+// failed transient) is quarantined instead of failing the sweep: the
+// record goes to the supervisor and the checkpoint, and runPoint
+// returns errPointQuarantined so the sweep skips the point. A resumed
+// sweep replays recorded quarantines here, at the same place in sweep
+// order, which keeps its output byte-identical.
 func runPoint(ctx context.Context, opt Options, ck *checkpoint, key string,
 	build func(seed int64) core.Config, extract func(*core.Result) []float64) ([]repRecord, error) {
 	if err := ctx.Err(); err != nil {
@@ -93,6 +102,10 @@ func runPoint(ctx context.Context, opt Options, ck *checkpoint, key string,
 	if ck != nil {
 		if reps, ok := ck.get(key); ok {
 			return reps, nil
+		}
+		if q, ok := ck.getQuarantine(key); ok && opt.Supervise != nil {
+			opt.noteQuarantined(q)
+			return nil, errPointQuarantined
 		}
 	}
 
@@ -132,6 +145,7 @@ func runPoint(ctx context.Context, opt Options, ck *checkpoint, key string,
 
 	reps := make([]repRecord, 0, n)
 	var firstErr error
+	var breaker *repFailure
 	for _, s := range slots {
 		if s.ok {
 			reps = append(reps, s.rec)
@@ -140,6 +154,30 @@ func runPoint(ctx context.Context, opt Options, ck *checkpoint, key string,
 		if firstErr == nil {
 			firstErr = s.err
 		}
+		var rf *repFailure
+		if !errors.As(s.err, &rf) {
+			continue
+		}
+		// Fail-fast classes dominate the point's verdict; otherwise keep
+		// the first classified failure (seed order) for the record.
+		if breaker == nil || (failFast(rf.class) && !failFast(breaker.class)) {
+			breaker = rf
+		}
+	}
+	if breaker != nil && failFast(breaker.class) {
+		return nil, fmt.Errorf("experiment: point %q: %s: %w", key, breaker.class, breaker.err)
+	}
+	if opt.Supervise != nil && breaker != nil &&
+		(breaker.class == core.ClassResourceExhausted || len(reps) == 0) {
+		q := Quarantine{Key: key, Class: string(breaker.class), Attempts: breaker.attempts,
+			Reason: breaker.err.Error()}
+		if ck != nil {
+			if err := ck.putQuarantine(q); err != nil {
+				return nil, err
+			}
+		}
+		opt.noteQuarantined(q)
+		return nil, errPointQuarantined
 	}
 	if len(reps) == 0 {
 		if firstErr == nil {
@@ -160,43 +198,66 @@ func runPoint(ctx context.Context, opt Options, ck *checkpoint, key string,
 
 // runRep executes one replication: the configuration built for seed,
 // re-built with perturbed seeds up to the retry budget when a run
-// errors, panics, or the watchdog aborts it. A replication that
-// exhausts its retries is captured as a repro bundle (when ReproDir is
-// set) before the error is returned.
+// fails retryably (transient or resource-exhausted classes, or a
+// watchdog abort). Fail-fast classes — protocol-bug and panic — skip
+// the retry loop entirely: a deterministic correctness failure retried
+// under a perturbed seed would only bury the bug. A replication that
+// fails permanently is captured as a repro bundle (when ReproDir is
+// set) and returned as a *repFailure carrying its class and attempt
+// count, which runPoint's circuit breaker inspects.
 func runRep(ctx context.Context, opt Options, key string, build func(seed int64) core.Config,
 	seed int64, extract func(*core.Result) []float64) (repRecord, error) {
 	var lastErr, lastRunErr error
+	var lastClass core.FailureClass
 	var lastCfg core.Config
 	var lastRes *core.Result
-	failed := false
+	attempts := 0
 	for attempt := 0; attempt <= opt.retries(); attempt++ {
 		if err := ctx.Err(); err != nil {
 			return repRecord{}, err
 		}
-		cfg, r, err := runAttempt(ctx, build, seed+int64(attempt)*retrySeedOffset)
+		if attempt > 0 {
+			opt.Health.noteRetry()
+		}
+		attempts++
+		hid := opt.Health.RunStarted(key, seed+int64(attempt)*retrySeedOffset)
+		cfg, r, err := runAttempt(ctx, opt, build, seed+int64(attempt)*retrySeedOffset)
+		var events uint64
+		if r != nil {
+			events = r.Events
+		}
+		ok := err == nil && !r.Aborted
+		opt.Health.RunFinished(hid, events, ok)
+		class := core.Classify(err)
 		switch {
-		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		case class == core.ClassCanceled:
 			return repRecord{}, err
-		case err != nil:
-			lastErr = fmt.Errorf("seed %d: %w", cfg.Seed, err)
-			lastCfg, lastRes, lastRunErr, failed = cfg, nil, err, true
-		case r.Aborted:
+		case err == nil && r.Aborted:
+			// Virtual-time stall killed by the watchdog: transient shape,
+			// retry under a perturbed seed.
 			lastErr = fmt.Errorf("seed %d: watchdog abort: %s", cfg.Seed, firstLine(r.AbortReason))
-			lastCfg, lastRes, lastRunErr, failed = cfg, r, nil, true
-		default:
+			lastCfg, lastRes, lastRunErr, lastClass = cfg, r, nil, core.ClassTransient
+		case err == nil:
 			return repRecord{Seed: cfg.Seed, Values: bitsOf(extract(r))}, nil
+		case failFast(class):
+			wrapped := fmt.Errorf("seed %d: %w", cfg.Seed, err)
+			emitBundle(opt, key, seed, cfg, nil, err)
+			return repRecord{}, &repFailure{err: wrapped, class: class, attempts: attempts}
+		default:
+			lastErr = fmt.Errorf("seed %d: %w", cfg.Seed, err)
+			lastCfg, lastRes, lastRunErr, lastClass = cfg, nil, err, class
 		}
 	}
-	if failed {
-		emitBundle(opt, key, seed, lastCfg, lastRes, lastRunErr)
-	}
-	return repRecord{}, lastErr
+	emitBundle(opt, key, seed, lastCfg, lastRes, lastRunErr)
+	return repRecord{}, &repFailure{err: lastErr, class: lastClass, attempts: attempts}
 }
 
-// runAttempt builds and runs one configuration. A panic in the build
-// function or anywhere under the run is recovered into a *PanicError,
-// so one pathological replication cannot take down a whole campaign.
-func runAttempt(ctx context.Context, build func(seed int64) core.Config, seed int64) (cfg core.Config, res *core.Result, err error) {
+// runAttempt builds and runs one configuration under the engine's
+// resolved resource budget (see Options.runBudget). A panic in the
+// build function or anywhere under the run is recovered into a
+// *PanicError, so one pathological replication cannot take down a
+// whole campaign.
+func runAttempt(ctx context.Context, opt Options, build func(seed int64) core.Config, seed int64) (cfg core.Config, res *core.Result, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			res = nil
@@ -204,6 +265,7 @@ func runAttempt(ctx context.Context, build func(seed int64) core.Config, seed in
 		}
 	}()
 	cfg = build(seed)
+	cfg.Budget = opt.runBudget(cfg.Budget)
 	res, err = runSim(ctx, cfg)
 	return cfg, res, err
 }

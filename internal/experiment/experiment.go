@@ -23,12 +23,14 @@ package experiment
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
 
 	"wtcp/internal/bs"
 	"wtcp/internal/core"
+	"wtcp/internal/sim"
 	"wtcp/internal/stats"
 	"wtcp/internal/units"
 )
@@ -97,6 +99,26 @@ type Options struct {
 	// is freshly computed (not when reloaded from the checkpoint). Used
 	// for progress reporting and by tests to interrupt a sweep.
 	OnPoint func(key string)
+
+	// Supervise arms the per-point circuit breaker (see supervise.go):
+	// a point whose replications exhaust the engine's patience —
+	// resource-exhausted, or every replication permanently failed — is
+	// quarantined and recorded on the Supervisor (and in the
+	// checkpoint), and the sweep continues degraded instead of failing.
+	// Nil keeps the historical all-or-nothing behaviour.
+	Supervise *Supervisor
+	// RunBudget layers extra per-replication resource ceilings between
+	// each run's own Config.Budget and the engine defaults
+	// (DefaultRunWall, DefaultRunMaxEvents). Zero fields inherit;
+	// negative fields mean explicitly unlimited.
+	RunBudget sim.Budget
+	// NoRunBudget disables the engine's default per-run wall-clock and
+	// event ceilings (RunBudget and per-run Config.Budget still apply).
+	NoRunBudget bool
+	// Health, when set, receives real-time run telemetry: active
+	// replications, events/sec, completed/retried/quarantined counts,
+	// and the straggler log. See Health.SetStatusPath / NotifyOnSignal.
+	Health *Health
 }
 
 func (o Options) withDefaults() Options {
@@ -136,9 +158,12 @@ func (o Options) workers() int {
 }
 
 // fingerprint digests the result-affecting options. Workers, Checkpoint,
-// ReproDir, and OnPoint are deliberately excluded: they change how a
-// sweep executes, never what it measures, so a checkpoint written with
-// -workers 4 resumes fine under -workers 1.
+// ReproDir, OnPoint, and the supervision knobs (Supervise, RunBudget,
+// NoRunBudget, Health) are deliberately excluded: they change how a
+// sweep executes, never what a within-budget run measures, so a
+// checkpoint written with -workers 4 resumes fine under -workers 1 and
+// a governed sweep's surviving points are bit-identical to an
+// ungoverned run's.
 func (o Options) fingerprint() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "v%d reps=%d seed=%d transfer=%d retries=%d checks=%v oracle=%v",
@@ -201,6 +226,9 @@ func wanSweep(ctx context.Context, scheme bs.Scheme, opt Options) ([]ThroughputP
 			}, func(r *core.Result) []float64 {
 				return []float64{r.Summary.ThroughputKbps, r.Summary.Goodput}
 			})
+			if errors.Is(err, errPointQuarantined) {
+				continue
+			}
 			if err != nil {
 				return nil, fmt.Errorf("%v sweep, bad period %v, packet size %d: %w", scheme, bad, size, err)
 			}
@@ -303,6 +331,9 @@ func Fig9(ctx context.Context, opt Options) ([]RetransPoint, error) {
 				}, func(r *core.Result) []float64 {
 					return []float64{r.Summary.RetransmittedKB(), float64(r.Summary.Timeouts)}
 				})
+				if errors.Is(err, errPointQuarantined) {
+					continue
+				}
 				if err != nil {
 					return nil, fmt.Errorf("fig9 %v, bad period %v, packet size %d: %w", scheme, bad, size, err)
 				}
@@ -356,6 +387,9 @@ func LANStudy(ctx context.Context, opt Options) ([]LANPoint, error) {
 			}, func(r *core.Result) []float64 {
 				return []float64{r.Summary.ThroughputMbps, r.Summary.RetransmittedKB(), float64(r.Summary.Timeouts)}
 			})
+			if errors.Is(err, errPointQuarantined) {
+				continue
+			}
 			if err != nil {
 				return nil, fmt.Errorf("lan study %v, bad period %v: %w", scheme, bad, err)
 			}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package experiment
+
+import "io"
+
+// NotifyOnSignal is a no-op on platforms without SIGUSR1; -status
+// polling remains available everywhere.
+func (h *Health) NotifyOnSignal(w io.Writer) (stop func()) {
+	return func() {}
+}

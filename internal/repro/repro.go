@@ -40,6 +40,9 @@ const (
 	KindWatchdog = "watchdog"
 	// KindPanic: the run panicked and was recovered into an error.
 	KindPanic = "panic"
+	// KindBudget: the run exhausted a resource budget (event, virtual-
+	// time, wall-clock, or heap ceiling — see sim.BudgetError).
+	KindBudget = "budget"
 	// KindError: any other run error (bad config, channel setup, ...).
 	KindError = "error"
 	// KindNone classifies a replay that finished without failing — it
@@ -64,6 +67,12 @@ type Bundle struct {
 	// Detail carries the full diagnostic: watchdog snapshot, panic
 	// stack, or complete error text.
 	Detail string `json:"detail,omitempty"`
+	// BudgetKind, BudgetLimit, and BudgetValue record which resource
+	// ceiling a KindBudget run exhausted, the configured limit, and the
+	// consumption at abort (units per sim.BudgetError).
+	BudgetKind  string `json:"budget_kind,omitempty"`
+	BudgetLimit int64  `json:"budget_limit,omitempty"`
+	BudgetValue int64  `json:"budget_value,omitempty"`
 	// Config is the complete scenario, including Seed and the chaos
 	// plan. Replaying it reproduces the failure.
 	Config core.Config `json:"config"`
@@ -78,6 +87,7 @@ func Capture(cfg core.Config, res *core.Result, runErr error) *Bundle {
 	var checkErr *sim.CheckError
 	var panicErr *core.PanicError
 	var cancelErr *sim.CancelError
+	var budgetErr *sim.BudgetError
 	switch {
 	case errors.As(runErr, &cancelErr),
 		errors.Is(runErr, context.Canceled),
@@ -92,6 +102,13 @@ func Capture(cfg core.Config, res *core.Result, runErr error) *Bundle {
 		b.Kind = KindPanic
 		b.Failure = firstLine(panicErr.Value)
 		b.Detail = panicErr.Value + "\n" + panicErr.Stack
+	case errors.As(runErr, &budgetErr):
+		b.Kind = KindBudget
+		b.BudgetKind = budgetErr.Kind
+		b.BudgetLimit = budgetErr.Limit
+		b.BudgetValue = budgetErr.Value
+		b.Failure = firstLine(budgetErr.Error())
+		b.Detail = runErr.Error()
 	case runErr != nil:
 		b.Kind = KindError
 		b.Failure = firstLine(runErr.Error())
@@ -157,7 +174,7 @@ func Load(path string) (*Bundle, error) {
 		return nil, fmt.Errorf("repro: bundle %s has schema version %d, this build understands %d", path, b.Version, Version)
 	}
 	switch b.Kind {
-	case KindInvariant, KindWatchdog, KindPanic, KindError:
+	case KindInvariant, KindWatchdog, KindPanic, KindBudget, KindError:
 	default:
 		return nil, fmt.Errorf("repro: bundle %s has unknown failure kind %q", path, b.Kind)
 	}
@@ -171,20 +188,29 @@ type Outcome struct {
 	Kind string
 	// Check is the violated invariant's name for KindInvariant.
 	Check string
+	// BudgetKind is the exhausted ceiling for KindBudget.
+	BudgetKind string
 	// Failure is the one-line summary (empty for KindNone).
 	Failure string
 }
 
 // Matches reports whether the outcome reproduces the bundle's failure:
-// the same kind, and for invariant violations the same named check. The
-// failure text itself is not compared — virtual times and counters in
-// the summary legitimately differ across code versions while the defect
-// is the same.
+// the same kind, for invariant violations the same named check, and for
+// budget exhaustion the same ceiling. The failure text itself is not
+// compared — virtual times and counters in the summary legitimately
+// differ across code versions while the defect is the same.
 func (o Outcome) Matches(b *Bundle) bool {
 	if o.Kind != b.Kind {
 		return false
 	}
-	return b.Kind != KindInvariant || o.Check == b.Check
+	switch b.Kind {
+	case KindInvariant:
+		return o.Check == b.Check
+	case KindBudget:
+		return o.BudgetKind == b.BudgetKind
+	default:
+		return true
+	}
 }
 
 // Replay runs the bundle's scenario once and classifies what happened.
@@ -199,7 +225,8 @@ func Replay(ctx context.Context, b *Bundle) (Outcome, error) {
 	if captured == nil {
 		return Outcome{Kind: KindNone}, nil
 	}
-	return Outcome{Kind: captured.Kind, Check: captured.Check, Failure: captured.Failure}, nil
+	return Outcome{Kind: captured.Kind, Check: captured.Check,
+		BudgetKind: captured.BudgetKind, Failure: captured.Failure}, nil
 }
 
 // ShrinkStats summarizes a shrink session.
@@ -282,6 +309,8 @@ func Shrink(ctx context.Context, b *Bundle, maxReplays int) (*Bundle, ShrinkStat
 					func(c *chaos.Config, i int) { c.Crashes = deleteAt(c.Crashes, i) }},
 				{func() int { return len(cur.Config.Chaos.Packets) },
 					func(c *chaos.Config, i int) { c.Packets = deleteAt(c.Packets, i) }},
+				{func() int { return len(cur.Config.Chaos.EventStorms) },
+					func(c *chaos.Config, i int) { c.EventStorms = deleteAt(c.EventStorms, i) }},
 			} {
 				ok, err := dropEach(faults.length, faults.drop)
 				if err != nil {
@@ -343,6 +372,7 @@ func dropFault(cfg core.Config, edit func(*chaos.Config)) core.Config {
 		ch.Storms = append([]chaos.Storm(nil), cfg.Chaos.Storms...)
 		ch.Crashes = append([]chaos.Crash(nil), cfg.Chaos.Crashes...)
 		ch.Packets = append([]chaos.PacketFaults(nil), cfg.Chaos.Packets...)
+		ch.EventStorms = append([]chaos.EventStorm(nil), cfg.Chaos.EventStorms...)
 		ch.Notify = cfg.Chaos.Notify
 	}
 	edit(&ch)

@@ -10,6 +10,7 @@ import (
 	"wtcp/internal/bs"
 	"wtcp/internal/chaos"
 	"wtcp/internal/core"
+	"wtcp/internal/sim"
 	"wtcp/internal/units"
 )
 
@@ -158,5 +159,65 @@ func TestShrinkRemovesDecoysAndKeepsFailure(t *testing.T) {
 	}
 	if min.Config.Horizon >= b.Config.Horizon {
 		t.Errorf("horizon not shrunk: %v >= %v", min.Config.Horizon, b.Config.Horizon)
+	}
+}
+
+// budgetConfig is a benign WAN transfer starved of its event budget:
+// the run aborts with a *sim.BudgetError well before completing, and —
+// because the event ceiling counts deterministic kernel events — every
+// replay aborts identically.
+func budgetConfig() core.Config {
+	cfg := core.WAN(bs.EBSN, 576, 2*time.Second)
+	cfg.TransferSize = 50 * units.KB
+	cfg.Budget = sim.Budget{MaxEvents: 500}
+	return cfg
+}
+
+func TestCaptureBudgetRoundTripAndReplay(t *testing.T) {
+	cfg := budgetConfig()
+	res, err := core.Run(cfg)
+	var be *sim.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("starved run returned %v (res=%+v), want *sim.BudgetError", err, res)
+	}
+	b := Capture(cfg, res, err)
+	if b == nil {
+		t.Fatal("budget abort not captured")
+	}
+	if b.Kind != KindBudget || b.BudgetKind != sim.BudgetEvents {
+		t.Fatalf("bundle kind = %s/%s, want %s/%s", b.Kind, b.BudgetKind, KindBudget, sim.BudgetEvents)
+	}
+	if b.BudgetLimit != 500 || b.BudgetValue < 500 {
+		t.Fatalf("bundle counters limit=%d value=%d, want limit 500 and value >= 500", b.BudgetLimit, b.BudgetValue)
+	}
+
+	b.Origin = "test/budget rep 1"
+	path := filepath.Join(t.TempDir(), "budget.json")
+	if err := b.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != b.Kind || got.BudgetKind != b.BudgetKind ||
+		got.BudgetLimit != b.BudgetLimit || got.BudgetValue != b.BudgetValue {
+		t.Errorf("round trip changed budget metadata: %+v vs %+v", got, b)
+	}
+	if got.Config.Budget != cfg.Budget {
+		t.Errorf("round trip changed Config.Budget: %+v vs %+v", got.Config.Budget, cfg.Budget)
+	}
+
+	o, err := Replay(context.Background(), got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Matches(got) {
+		t.Errorf("replay outcome %+v does not match bundle %s/%s", o, got.Kind, got.BudgetKind)
+	}
+
+	// A different exhausted ceiling is a different failure.
+	if (Outcome{Kind: KindBudget, BudgetKind: sim.BudgetWall}).Matches(got) {
+		t.Error("wall-clock outcome matched an event-budget bundle")
 	}
 }

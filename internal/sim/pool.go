@@ -49,4 +49,5 @@ func (s *Simulator) Reset() {
 	s.checksOn = false
 	s.failure = nil
 	s.ctx = nil
+	s.budget = nil
 }

@@ -81,6 +81,11 @@ type Simulator struct {
 	// ctx, when non-nil, is polled at event boundaries (see context.go);
 	// once it ends the run halts with a *CancelError.
 	ctx context.Context
+
+	// budget, when non-nil, holds the run's resource ceilings (see
+	// budget.go); exhaustion halts the run with a *BudgetError. Nil is
+	// the fast path: an unbudgeted run pays one nil check per event.
+	budget *budgetState
 }
 
 // New returns an empty simulator with the clock at zero.
@@ -177,8 +182,9 @@ func (s *Simulator) fire(next *event) {
 // Run executes events in order until the queue drains, until the virtual
 // clock would pass until (events at exactly until still fire), or until
 // Stop is called. A non-positive until runs the queue to exhaustion.
-// It returns ErrStopped if halted by Stop, and the recorded *CancelError
-// if the context bound with Bind ended.
+// It returns ErrStopped if halted by Stop, the recorded *CancelError
+// if the context bound with Bind ended, and the recorded *BudgetError
+// if a resource budget installed with SetBudget was exhausted.
 func (s *Simulator) Run(until time.Duration) error {
 	s.stopped = false
 	for {
@@ -191,6 +197,9 @@ func (s *Simulator) Run(until time.Duration) error {
 		}
 		if s.stopped {
 			return ErrStopped
+		}
+		if s.budget != nil && s.exceeded(next) {
+			return s.failure
 		}
 		if until > 0 && next.at > until {
 			// Leave future events queued; advance the clock to the
@@ -212,8 +221,8 @@ func (s *Simulator) RunAll() error { return s.Run(0) }
 // Step executes exactly one event. It reports whether one was executed,
 // and — like Run — surfaces the halt condition as an error: ErrStopped
 // after Stop (or a halted check/watchdog), or the recorded failure (a
-// *CheckError, *StallError, or *CancelError) when one exists. An empty
-// queue is (false, nil): exhaustion is not an error.
+// *CheckError, *StallError, *CancelError, or *BudgetError) when one
+// exists. An empty queue is (false, nil): exhaustion is not an error.
 func (s *Simulator) Step() (bool, error) {
 	if s.cancelled() {
 		return false, s.failure
@@ -227,6 +236,9 @@ func (s *Simulator) Step() (bool, error) {
 	next := s.peekLive()
 	if next == nil {
 		return false, nil
+	}
+	if s.budget != nil && s.exceeded(next) {
+		return false, s.failure
 	}
 	s.fire(next)
 	return true, nil
