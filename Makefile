@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check conformance budget-smoke goldens bench bench-baseline bench-compare bench-smoke figures traces report fuzz fuzz-smoke clean
+.PHONY: all build vet test test-race check conformance budget-smoke fleet-smoke goldens bench bench-baseline bench-compare bench-smoke figures traces report fuzz fuzz-smoke clean
 
 all: build vet test
 
 # Pre-PR gate: static analysis plus the full suite under the race
 # detector (the simulator is single-threaded by design; -race proves it),
-# plus the protocol-conformance and run-supervision gates.
-check: vet test-race conformance budget-smoke
+# plus the protocol-conformance, run-supervision, and fleet gates.
+check: vet test-race conformance budget-smoke fleet-smoke
 
 # Supervision gate: a tiny sweep with one pathological (livelocking)
 # point under aggressive run budgets, with the worker pool and heartbeat
@@ -17,6 +17,13 @@ check: vet test-race conformance budget-smoke
 # checkpoint + status-file + repro-bundle plumbing.
 budget-smoke:
 	$(GO) test -race -run 'TestBudgetSmoke|TestGovernedSweepQuarantinesPathologicalPoint' ./internal/experiment/
+
+# Fleet gate: a four-worker sharded campaign under -race with a
+# chaos-injected SIGKILL of a live lease holder; asserts every point
+# settles exactly once and the merged ledger is bit-identical to the
+# sequential engine's output.
+fleet-smoke:
+	$(GO) test -race -run TestFleetSmoke ./internal/fleet/
 
 # Conformance gate: the oracle/trace/ARQ suites under -race, then the
 # golden-trace drift check against the committed canonical scenarios.

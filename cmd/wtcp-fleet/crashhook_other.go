@@ -1,0 +1,9 @@
+//go:build !unix
+
+package main
+
+import "wtcp/internal/fleet"
+
+// hookWorkerCrash is a no-op on platforms without SIGKILL; the crash
+// acceptance tests are unix-only.
+func hookWorkerCrash(cfg *fleet.WorkerConfig) {}

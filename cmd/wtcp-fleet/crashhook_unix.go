@@ -1,0 +1,54 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"strconv"
+	"syscall"
+
+	"wtcp/internal/fleet"
+)
+
+// Crash-injection hooks for the acceptance tests. The lease protocol's
+// guarantees are about where a worker dies relative to its result post:
+// dying before the post must reassign the point, dying after must make
+// the straggler's eventual repost a dropped duplicate. External
+// observation can't pin those orderings, so the worker kills itself at
+// the exact boundary when asked to via environment variables:
+//
+//	WTCP_FLEET_KILL_BEFORE_RESULT=N  SIGKILL self just before posting the Nth result (1-based)
+//	WTCP_FLEET_KILL_AFTER_RESULT=N   SIGKILL self just after the Nth result is acknowledged
+//
+// Unset (the normal case) installs nothing.
+func hookWorkerCrash(cfg *fleet.WorkerConfig) {
+	if n := killAt("WTCP_FLEET_KILL_BEFORE_RESULT"); n > 0 {
+		count := 0
+		cfg.BeforeResult = func(string) {
+			if count++; count == n {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+	}
+	if n := killAt("WTCP_FLEET_KILL_AFTER_RESULT"); n > 0 {
+		count := 0
+		cfg.AfterResult = func(string) {
+			if count++; count == n {
+				syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			}
+		}
+	}
+}
+
+// killAt parses the 1-based trigger count from env; 0 means disabled.
+func killAt(env string) int {
+	v := os.Getenv(env)
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
+}

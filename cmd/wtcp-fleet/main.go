@@ -1,0 +1,258 @@
+// Command wtcp-fleet runs a sweep campaign sharded across worker
+// processes, with lease-based fault tolerance: a crashed, hung, or
+// killed worker's points are reassigned, results are recorded exactly
+// once, and the merged checkpoint is byte-identical to what the
+// sequential engine would have produced.
+//
+//	wtcp-fleet run -campaign campaign.json -ledger sweep.json -workers 4
+//	wtcp-fleet run -campaign campaign.json -ledger sweep.json -chaos faults.json
+//	wtcp-fleet coordinate -campaign campaign.json -ledger sweep.json -listen 127.0.0.1:7070
+//	wtcp-fleet worker -coordinator http://127.0.0.1:7070 -name worker-0
+//
+// `run` is the one-machine mode: it starts a coordinator on a loopback
+// port, spawns N worker subprocesses (re-executing this binary's
+// `worker` subcommand), and blocks until the campaign completes.
+// `coordinate` and `worker` are the split mode for driving the two
+// halves by hand or across machines.
+//
+// After a campaign, the ledger file is an ordinary engine checkpoint:
+// point wtcp-figures or wtcp-report at it (-checkpoint) to render the
+// figures from the merged results.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wtcp/internal/chaos"
+	"wtcp/internal/experiment"
+	"wtcp/internal/fleet"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "wtcp-fleet: interrupted; settled points are in the ledger, rerun to resume")
+		} else {
+			fmt.Fprintln(os.Stderr, "wtcp-fleet:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: wtcp-fleet <run|coordinate|worker> [flags] (see -h of each subcommand)")
+	}
+	switch args[0] {
+	case "run":
+		return runLocal(ctx, args[1:])
+	case "coordinate":
+		return runCoordinator(ctx, args[1:])
+	case "worker":
+		return runWorker(ctx, args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want run, coordinate, or worker)", args[0])
+	}
+}
+
+// loadCampaign reads and validates a campaign manifest file.
+func loadCampaign(path string) (fleet.Campaign, error) {
+	if path == "" {
+		return fleet.Campaign{}, fmt.Errorf("a campaign manifest is required (-campaign campaign.json)")
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fleet.Campaign{}, fmt.Errorf("read campaign: %w", err)
+	}
+	c, err := fleet.ParseCampaign(raw)
+	if err != nil {
+		return fleet.Campaign{}, fmt.Errorf("campaign %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// loadFaults reads an optional chaos plan for the fleet boundary.
+func loadFaults(path string) (*chaos.FleetFaults, error) {
+	if path == "" {
+		return nil, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("read chaos plan: %w", err)
+	}
+	f, err := chaos.ParseFleet(raw)
+	if err != nil {
+		return nil, fmt.Errorf("chaos plan %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// runLocal is the one-machine mode: coordinator plus N subprocess
+// workers, blocking until the campaign settles every point.
+func runLocal(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("wtcp-fleet run", flag.ContinueOnError)
+	var (
+		campaignPath = fs.String("campaign", "", "campaign manifest JSON (required)")
+		ledgerPath   = fs.String("ledger", "", "checkpoint file results merge into (required); rerunning resumes from it")
+		workers      = fs.Int("workers", 4, "worker subprocesses to spawn")
+		statusPath   = fs.String("status", "", "write the fleet health snapshot JSON to this file as the campaign runs")
+		chaosPath    = fs.String("chaos", "", "fleet fault-injection plan JSON (see internal/chaos.FleetFaults)")
+		leaseTTL     = fs.Duration("lease-ttl", 0, "lease time-to-live (0 = default 10s)")
+		verbose      = fs.Bool("v", false, "log lease traffic and settlements to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	campaign, err := loadCampaign(*campaignPath)
+	if err != nil {
+		return err
+	}
+	if *ledgerPath == "" {
+		return fmt.Errorf("a ledger path is required (-ledger sweep.json)")
+	}
+	faults, err := loadFaults(*chaosPath)
+	if err != nil {
+		return err
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locate own binary for worker re-exec: %w", err)
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	snap, err := fleet.RunLocal(ctx, fleet.LocalOptions{
+		Campaign:   campaign,
+		Workers:    *workers,
+		LedgerPath: *ledgerPath,
+		StatusPath: *statusPath,
+		LeaseTTL:   *leaseTTL,
+		Faults:     faults,
+		Log:        logf,
+		WorkerCommand: func(i int, name, url string) *exec.Cmd {
+			// Workers get the same chaos plan: the RPC faults (drop,
+			// duplicate, delay) live on the worker's client side, while
+			// the kill schedule is executed by the coordinator's watcher.
+			wargs := []string{"worker", "-coordinator", url, "-name", name}
+			if *chaosPath != "" {
+				wargs = append(wargs, "-chaos", *chaosPath)
+			}
+			if *verbose {
+				wargs = append(wargs, "-v")
+			}
+			cmd := exec.Command(self, wargs...)
+			cmd.Stderr = os.Stderr
+			return cmd
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign complete: %d/%d points settled (%d quarantined, %d reassigned, %d stolen, %d duplicate posts dropped)\n",
+		snap.Settled, snap.TotalUnits, snap.Quarantined, len(snap.Reassigned), snap.Stolen, snap.Duplicates)
+	fmt.Printf("ledger: %s (render with: wtcp-figures -checkpoint %s, or wtcp-report -checkpoint %s)\n",
+		*ledgerPath, *ledgerPath, *ledgerPath)
+	return nil
+}
+
+// runCoordinator serves the coordinator half on a fixed address until
+// the campaign completes or the context ends.
+func runCoordinator(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("wtcp-fleet coordinate", flag.ContinueOnError)
+	var (
+		campaignPath = fs.String("campaign", "", "campaign manifest JSON (required)")
+		ledgerPath   = fs.String("ledger", "", "checkpoint file results merge into (required)")
+		listen       = fs.String("listen", "127.0.0.1:7070", "address to serve the fleet API on")
+		statusPath   = fs.String("status", "", "write the fleet health snapshot JSON to this file")
+		leaseTTL     = fs.Duration("lease-ttl", 0, "lease time-to-live (0 = default 10s)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	campaign, err := loadCampaign(*campaignPath)
+	if err != nil {
+		return err
+	}
+	if *ledgerPath == "" {
+		return fmt.Errorf("a ledger path is required (-ledger sweep.json)")
+	}
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Campaign:   campaign,
+		LedgerPath: *ledgerPath,
+		StatusPath: *statusPath,
+		LeaseTTL:   *leaseTTL,
+		Log:        func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "wtcp-fleet: coordinating on http://%s\n", ln.Addr())
+	select {
+	case <-coord.Done():
+		// Give in-flight result posts a moment to drain before the server
+		// goes away.
+		time.Sleep(100 * time.Millisecond)
+		return coord.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// runWorker joins a coordinator and processes work units until told the
+// campaign is done.
+func runWorker(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("wtcp-fleet worker", flag.ContinueOnError)
+	var (
+		coordinator = fs.String("coordinator", "", "coordinator base URL (required), e.g. http://127.0.0.1:7070")
+		name        = fs.String("name", "", "worker name (default worker-<pid>)")
+		chaosPath   = fs.String("chaos", "", "fleet fault-injection plan JSON applied to this worker's RPCs")
+		verbose     = fs.Bool("v", false, "log leases and settlements to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *coordinator == "" {
+		return fmt.Errorf("a coordinator URL is required (-coordinator http://host:port)")
+	}
+	if *name == "" {
+		*name = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	faults, err := loadFaults(*chaosPath)
+	if err != nil {
+		return err
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	cfg := fleet.WorkerConfig{
+		Name:        *name,
+		Coordinator: *coordinator,
+		Health:      experiment.NewHealth(),
+		HTTPClient:  fleet.NewFaultClient(faults, int64(os.Getpid())),
+		Log:         logf,
+	}
+	hookWorkerCrash(&cfg)
+	return fleet.RunWorker(ctx, cfg)
+}

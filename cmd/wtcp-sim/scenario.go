@@ -10,7 +10,7 @@ import (
 	"wtcp/internal/bs"
 	"wtcp/internal/chaos"
 	"wtcp/internal/core"
-	"wtcp/internal/sim"
+	"wtcp/internal/scenario"
 	"wtcp/internal/tcp"
 	"wtcp/internal/units"
 )
@@ -60,49 +60,13 @@ type scenarioFile struct {
 	// Robustness knobs: Chaos holds an inline fault-injection plan (see
 	// internal/chaos for the schema), Checks enables runtime invariant
 	// checking, and Stall tunes the no-progress watchdog window ("5m";
-	// "off" disables it). Budget bounds the run's resource consumption;
+	// "off" disables it). Budget bounds the run's resource consumption
+	// (schema shared with fleet campaign manifests — internal/scenario);
 	// exhausting any ceiling halts the run with a budget error.
-	Chaos  json.RawMessage `json:"chaos"`
-	Checks bool            `json:"checks"`
-	Stall  string          `json:"stall"`
-	Budget *scenarioBudget `json:"budget"`
-}
-
-// scenarioBudget is the JSON shape of a resource budget:
-//
-//	"budget": {"max_events": 2000000, "max_virtual": "30m",
-//	           "wall_clock": "1m", "max_heap_bytes": 268435456}
-//
-// Omitted fields impose no ceiling from the file (command-line budget
-// flags and the default run budget still layer on top); durations
-// accept "off" for explicitly unlimited.
-type scenarioBudget struct {
-	MaxEvents    int64  `json:"max_events"`
-	MaxVirtual   string `json:"max_virtual"`
-	WallClock    string `json:"wall_clock"`
-	MaxHeapBytes int64  `json:"max_heap_bytes"`
-}
-
-// build converts the JSON budget into sim's representation.
-func (sb scenarioBudget) build() (sim.Budget, error) {
-	b := sim.Budget{MaxEvents: sb.MaxEvents, MaxHeapBytes: sb.MaxHeapBytes}
-	var err error
-	if b.MaxVirtual, err = parseBudgetDur("budget.max_virtual", sb.MaxVirtual); err != nil {
-		return sim.Budget{}, err
-	}
-	if b.WallClock, err = parseBudgetDur("budget.wall_clock", sb.WallClock); err != nil {
-		return sim.Budget{}, err
-	}
-	return b, nil
-}
-
-// parseBudgetDur parses an optional budget duration; "off" means
-// explicitly unlimited (negative, which survives default layering).
-func parseBudgetDur(field, v string) (time.Duration, error) {
-	if v == "off" {
-		return -1, nil
-	}
-	return parsePositiveDur(field, v)
+	Chaos  json.RawMessage  `json:"chaos"`
+	Checks bool             `json:"checks"`
+	Stall  string           `json:"stall"`
+	Budget *scenario.Budget `json:"budget"`
 }
 
 // loadScenario reads and validates a JSON scenario into a runnable
@@ -159,19 +123,9 @@ func (sf scenarioFile) validate() error {
 }
 
 // parsePositiveDur parses an optional duration field that must be
-// positive when present.
+// positive when present (shared plumbing: internal/scenario).
 func parsePositiveDur(field, v string) (time.Duration, error) {
-	if v == "" {
-		return 0, nil
-	}
-	d, err := time.ParseDuration(v)
-	if err != nil {
-		return 0, fmt.Errorf("%s: %w (use a duration like \"4s\" or \"800ms\")", field, err)
-	}
-	if d <= 0 {
-		return 0, fmt.Errorf("%s %v must be positive", field, d)
-	}
-	return d, nil
+	return scenario.ParsePositiveDur(field, v)
 }
 
 // build converts the file into a core.Config.
@@ -276,7 +230,7 @@ func (sf scenarioFile) build() (core.Config, error) {
 	}
 	cfg.Checks = sf.Checks
 	if sf.Budget != nil {
-		b, err := sf.Budget.build()
+		b, err := sf.Budget.Build()
 		if err != nil {
 			return core.Config{}, err
 		}

@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// This file extends the fault-injection subsystem past the simulator:
+// FleetFaults describes adverse conditions at the coordinator/worker
+// RPC boundary of a distributed campaign (internal/fleet) — dropped,
+// duplicated, and delayed lease renewals and result posts, plus a
+// scheduled worker SIGKILL. Like the in-sim faults, everything draws
+// from a seeded RNG so a chaotic campaign is reproducible from
+// (config, seed) alone; the guarantees the fleet must keep under these
+// faults (no lost points, no double counting) are exactly the ones its
+// acceptance tests assert.
+
+// RPCFaults perturbs one class of fleet RPC (lease renewals or result
+// posts) probabilistically, per call.
+type RPCFaults struct {
+	// DropProb is the probability a call is dropped before reaching the
+	// coordinator (the caller sees a transport error).
+	DropProb float64 `json:"drop_prob,omitempty"`
+	// DupProb is the probability a call is delivered twice — the
+	// duplicate a retrying client would produce after losing the reply.
+	DupProb float64 `json:"dup_prob,omitempty"`
+	// DelayProb is the probability a call is held for DelayMs before
+	// delivery (long enough to cross a lease-expiry boundary when the
+	// test wants it to).
+	DelayProb float64 `json:"delay_prob,omitempty"`
+	// DelayMs is the hold duration for delayed calls, in milliseconds.
+	DelayMs int64 `json:"delay_ms,omitempty"`
+}
+
+// Enabled reports whether any fault can fire.
+func (f RPCFaults) Enabled() bool {
+	return f.DropProb > 0 || f.DupProb > 0 || f.DelayProb > 0
+}
+
+// Delay returns the configured hold duration.
+func (f RPCFaults) Delay() time.Duration { return time.Duration(f.DelayMs) * time.Millisecond }
+
+// validate bounds the probabilities and delay.
+func (f RPCFaults) validate(name string) error {
+	for _, p := range []struct {
+		field string
+		v     float64
+	}{
+		{"drop_prob", f.DropProb}, {"dup_prob", f.DupProb}, {"delay_prob", f.DelayProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("chaos: fleet %s.%s %v outside [0, 1]", name, p.field, p.v)
+		}
+	}
+	if f.DelayMs < 0 {
+		return fmt.Errorf("chaos: fleet %s.delay_ms %d is negative", name, f.DelayMs)
+	}
+	if f.DelayProb > 0 && f.DelayMs == 0 {
+		return fmt.Errorf("chaos: fleet %s.delay_prob set but delay_ms is zero; give the hold duration", name)
+	}
+	return nil
+}
+
+// WorkerKill SIGKILLs one local worker subprocess mid-campaign: worker
+// index Worker is killed after it has completed AfterUnits work units
+// (0 kills it while it holds its first lease). The fleet must finish
+// the campaign anyway, losing and double-counting nothing.
+type WorkerKill struct {
+	Worker     int `json:"worker"`
+	AfterUnits int `json:"after_units,omitempty"`
+}
+
+// FleetFaults is a fault plan for the coordinator/worker boundary of a
+// distributed campaign. Zero value injects nothing.
+type FleetFaults struct {
+	// Renew perturbs lease-renewal heartbeats; Result perturbs result
+	// posts. A dropped renewal stream eventually expires the lease and
+	// the point is reassigned; a duplicated result post must be
+	// deduplicated by the coordinator's ledger.
+	Renew  RPCFaults `json:"renew,omitempty"`
+	Result RPCFaults `json:"result,omitempty"`
+	// Kill, when set, SIGKILLs a local worker subprocess (see
+	// WorkerKill). Only the local fleet runner honours it.
+	Kill *WorkerKill `json:"kill,omitempty"`
+	// Seed drives the boundary-fault RNG; 0 derives from the campaign
+	// seed.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Enabled reports whether the plan injects anything.
+func (f *FleetFaults) Enabled() bool {
+	return f != nil && (f.Renew.Enabled() || f.Result.Enabled() || f.Kill != nil)
+}
+
+// Validate rejects out-of-range knobs with messages that say how to fix
+// the field.
+func (f *FleetFaults) Validate() error {
+	if f == nil {
+		return nil
+	}
+	if err := f.Renew.validate("renew"); err != nil {
+		return err
+	}
+	if err := f.Result.validate("result"); err != nil {
+		return err
+	}
+	if f.Kill != nil {
+		if f.Kill.Worker < 0 {
+			return fmt.Errorf("chaos: fleet kill.worker %d is negative; give the local worker index", f.Kill.Worker)
+		}
+		if f.Kill.AfterUnits < 0 {
+			return fmt.Errorf("chaos: fleet kill.after_units %d is negative; 0 kills during the first held lease", f.Kill.AfterUnits)
+		}
+	}
+	return nil
+}
+
+// ParseFleet decodes and validates a JSON fleet fault plan. Unknown
+// fields are rejected so a typoed knob fails loudly instead of silently
+// injecting nothing.
+func ParseFleet(data []byte) (*FleetFaults, error) {
+	var f FleetFaults
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("chaos: parse fleet faults: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}

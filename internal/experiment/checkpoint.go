@@ -17,7 +17,7 @@ const checkpointVersion = 1
 // per-replication records, already in seed order.
 type pointRecord struct {
 	Key  string      `json:"key"`
-	Reps []repRecord `json:"reps"`
+	Reps []RepRecord `json:"reps"`
 }
 
 // checkpointFile is the on-disk layout. Fingerprint ties the file to
@@ -38,43 +38,61 @@ type checkpointFile struct {
 // checkpoint is the in-memory store behind a checkpoint file. Several
 // sweeps in one process (Fig7 then Fig8, say) may each open the same
 // path sequentially; each instance loads what the previous one saved
-// and appends its own points.
+// and appends its own points. While open, the store holds an exclusive
+// advisory lock on <path>.lock: two engine processes pointed at the
+// same checkpoint would silently clobber each other's persistLocked
+// writes, so the second opener fails fast instead. The lock is released
+// by close (each sweep closes its store when it returns) and by the
+// kernel if the process dies, so a SIGKILLed campaign never leaves a
+// stale lock behind.
 type checkpoint struct {
 	path        string
 	fingerprint string
+	unlock      func()
 
 	mu        sync.Mutex
 	order     []string
-	points    map[string][]repRecord
+	points    map[string][]RepRecord
 	quarOrder []string
 	quars     map[string]Quarantine
 }
 
 // openCheckpoint loads path if it exists, or prepares an empty store.
+// It takes the exclusive checkpoint lock first; a path already locked
+// by a live process is refused with the holder named.
 func openCheckpoint(path, fingerprint string) (*checkpoint, error) {
-	ck := &checkpoint{path: path, fingerprint: fingerprint,
-		points: map[string][]repRecord{}, quars: map[string]Quarantine{}}
+	unlock, err := acquireFileLock(path + ".lock")
+	if err != nil {
+		return nil, fmt.Errorf("experiment: checkpoint %s: %w", path, err)
+	}
+	ck := &checkpoint{path: path, fingerprint: fingerprint, unlock: unlock,
+		points: map[string][]RepRecord{}, quars: map[string]Quarantine{}}
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return ck, nil
 	}
 	if err != nil {
+		ck.close()
 		return nil, fmt.Errorf("experiment: read checkpoint: %w", err)
 	}
 	var f checkpointFile
 	if err := json.Unmarshal(data, &f); err != nil {
+		ck.close()
 		return nil, fmt.Errorf("experiment: parse checkpoint %s: %w", path, err)
 	}
 	if f.Version != checkpointVersion {
+		ck.close()
 		return nil, fmt.Errorf("experiment: checkpoint %s has version %d, want %d; delete it to start over",
 			path, f.Version, checkpointVersion)
 	}
 	if f.Fingerprint != fingerprint {
+		ck.close()
 		return nil, fmt.Errorf("experiment: checkpoint %s was written under different options (fingerprint %q, this run %q); delete it or rerun with the original options",
 			path, f.Fingerprint, fingerprint)
 	}
 	for _, p := range f.Points {
 		if _, dup := ck.points[p.Key]; dup {
+			ck.close()
 			return nil, fmt.Errorf("experiment: checkpoint %s repeats point %q", path, p.Key)
 		}
 		ck.points[p.Key] = p.Reps
@@ -82,6 +100,7 @@ func openCheckpoint(path, fingerprint string) (*checkpoint, error) {
 	}
 	for _, q := range f.Quarantined {
 		if _, dup := ck.quars[q.Key]; dup {
+			ck.close()
 			return nil, fmt.Errorf("experiment: checkpoint %s repeats quarantined point %q", path, q.Key)
 		}
 		ck.quars[q.Key] = q
@@ -90,9 +109,24 @@ func openCheckpoint(path, fingerprint string) (*checkpoint, error) {
 	return ck, nil
 }
 
+// close releases the exclusive checkpoint lock. Safe on nil (sweeps
+// without a checkpoint) and idempotent.
+func (ck *checkpoint) close() {
+	if ck == nil {
+		return
+	}
+	ck.mu.Lock()
+	unlock := ck.unlock
+	ck.unlock = nil
+	ck.mu.Unlock()
+	if unlock != nil {
+		unlock()
+	}
+}
+
 // get returns the stored replications for key, if the point finished in
 // an earlier (or killed) run.
-func (ck *checkpoint) get(key string) ([]repRecord, bool) {
+func (ck *checkpoint) get(key string) ([]RepRecord, bool) {
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
 	reps, ok := ck.points[key]
@@ -100,7 +134,7 @@ func (ck *checkpoint) get(key string) ([]repRecord, bool) {
 }
 
 // put records a finished point and persists the whole store atomically.
-func (ck *checkpoint) put(key string, reps []repRecord) error {
+func (ck *checkpoint) put(key string, reps []RepRecord) error {
 	ck.mu.Lock()
 	defer ck.mu.Unlock()
 	if _, dup := ck.points[key]; !dup {

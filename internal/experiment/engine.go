@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"os"
 	"path/filepath"
 	"runtime/debug"
 	"strings"
 	"sync"
+	"time"
 
 	"wtcp/internal/core"
 	"wtcp/internal/repro"
@@ -40,19 +42,25 @@ import (
 // inject failures without constructing a failing scenario.
 var runSim = core.RunContext
 
-// repRecord is one successful replication's raw measurements. Values
+// RepRecord is one successful replication's raw measurements. Values
 // holds float64 bit patterns (math.Float64bits) in the sweep-defined
 // metric order: unlike decimal JSON floats, bit patterns reload exactly,
 // which is what makes a resumed sweep byte-identical to an uninterrupted
 // one. Seed is the core.Config seed the replication actually ran with —
-// for a retried replication, the perturbed substitute.
-type repRecord struct {
-	Seed   int64    `json:"seed"`
-	Values []uint64 `json:"values"`
+// for a retried replication, the perturbed substitute. Backoffs records
+// the retry backoff delays (milliseconds) the replication waited through
+// before succeeding; the delays are seed-derived, so a resumed or
+// re-run sweep writes an identical record. Exported so the fleet layer
+// (internal/fleet) can carry records between workers and the
+// coordinator's ledger.
+type RepRecord struct {
+	Seed     int64    `json:"seed"`
+	Values   []uint64 `json:"values"`
+	Backoffs []int64  `json:"backoff_ms,omitempty"`
 }
 
 // floats decodes the record's measurements.
-func (r repRecord) floats() []float64 {
+func (r RepRecord) floats() []float64 {
 	out := make([]float64, len(r.Values))
 	for i, bits := range r.Values {
 		out[i] = math.Float64frombits(bits)
@@ -70,7 +78,7 @@ func bitsOf(vs []float64) []uint64 {
 }
 
 // seedsOf collects the per-replication seeds for a point's metadata.
-func seedsOf(reps []repRecord) []int64 {
+func seedsOf(reps []RepRecord) []int64 {
 	out := make([]int64, len(reps))
 	for i, r := range reps {
 		out[i] = r.Seed
@@ -95,7 +103,7 @@ func seedsOf(reps []repRecord) []int64 {
 // sweep replays recorded quarantines here, at the same place in sweep
 // order, which keeps its output byte-identical.
 func runPoint(ctx context.Context, opt Options, ck *checkpoint, key string,
-	build func(seed int64) core.Config, extract func(*core.Result) []float64) ([]repRecord, error) {
+	build func(seed int64) core.Config, extract func(*core.Result) []float64) ([]RepRecord, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -109,9 +117,42 @@ func runPoint(ctx context.Context, opt Options, ck *checkpoint, key string,
 		}
 	}
 
+	reps, quar, err := executePoint(ctx, opt, key, build, extract)
+	if err != nil {
+		return nil, err
+	}
+	if quar != nil {
+		if ck != nil {
+			if err := ck.putQuarantine(*quar); err != nil {
+				return nil, err
+			}
+		}
+		opt.noteQuarantined(*quar)
+		return nil, errPointQuarantined
+	}
+	if ck != nil {
+		if err := ck.put(key, reps); err != nil {
+			return nil, err
+		}
+	}
+	if opt.OnPoint != nil {
+		opt.OnPoint(key)
+	}
+	return reps, nil
+}
+
+// executePoint runs one point's replications on the worker pool and
+// classifies the outcome without touching any checkpoint or supervisor
+// state — the piece a fleet worker (internal/fleet) executes remotely.
+// It returns exactly one of: the seed-ordered records on success; a
+// quarantine record when supervision is armed and the point's circuit
+// breaker trips; or an error (fail-fast class, every replication failed
+// unsupervised, or ctx ended mid-point).
+func executePoint(ctx context.Context, opt Options, key string,
+	build func(seed int64) core.Config, extract func(*core.Result) []float64) ([]RepRecord, *Quarantine, error) {
 	n := opt.Replications
 	type slot struct {
-		rec repRecord
+		rec RepRecord
 		ok  bool
 		err error
 	}
@@ -140,10 +181,10 @@ func runPoint(ctx context.Context, opt Options, ck *checkpoint, key string,
 	if err := ctx.Err(); err != nil {
 		// Cancelled mid-point: do not checkpoint a partial point — on
 		// resume it reruns whole, keeping the merged output identical.
-		return nil, err
+		return nil, nil, err
 	}
 
-	reps := make([]repRecord, 0, n)
+	reps := make([]RepRecord, 0, n)
 	var firstErr error
 	var breaker *repFailure
 	for _, s := range slots {
@@ -165,58 +206,54 @@ func runPoint(ctx context.Context, opt Options, ck *checkpoint, key string,
 		}
 	}
 	if breaker != nil && failFast(breaker.class) {
-		return nil, fmt.Errorf("experiment: point %q: %s: %w", key, breaker.class, breaker.err)
+		return nil, nil, fmt.Errorf("experiment: point %q: %s: %w", key, breaker.class, breaker.err)
 	}
 	if opt.Supervise != nil && breaker != nil &&
 		(breaker.class == core.ClassResourceExhausted || len(reps) == 0) {
-		q := Quarantine{Key: key, Class: string(breaker.class), Attempts: breaker.attempts,
-			Reason: breaker.err.Error()}
-		if ck != nil {
-			if err := ck.putQuarantine(q); err != nil {
-				return nil, err
-			}
-		}
-		opt.noteQuarantined(q)
-		return nil, errPointQuarantined
+		return nil, &Quarantine{Key: key, Class: string(breaker.class), Attempts: breaker.attempts,
+			Reason: breaker.err.Error()}, nil
 	}
 	if len(reps) == 0 {
 		if firstErr == nil {
 			firstErr = errors.New("no replications configured")
 		}
-		return nil, fmt.Errorf("experiment: every replication failed: %w", firstErr)
+		return nil, nil, fmt.Errorf("experiment: every replication failed: %w", firstErr)
 	}
-	if ck != nil {
-		if err := ck.put(key, reps); err != nil {
-			return nil, err
-		}
-	}
-	if opt.OnPoint != nil {
-		opt.OnPoint(key)
-	}
-	return reps, nil
+	return reps, nil, nil
 }
 
 // runRep executes one replication: the configuration built for seed,
 // re-built with perturbed seeds up to the retry budget when a run
 // fails retryably (transient or resource-exhausted classes, or a
-// watchdog abort). Fail-fast classes — protocol-bug and panic — skip
-// the retry loop entirely: a deterministic correctness failure retried
+// watchdog abort). Retries do not fire immediately: each waits through
+// a capped exponential backoff with deterministic jitter (retryBackoff)
+// so a burst of transient failures — a loaded host, a fleet of workers
+// hammering one filesystem — spreads out instead of stampeding, and
+// the delays actually waited are recorded in the replication's
+// metadata. Fail-fast classes — protocol-bug and panic — skip the
+// retry loop entirely: a deterministic correctness failure retried
 // under a perturbed seed would only bury the bug. A replication that
 // fails permanently is captured as a repro bundle (when ReproDir is
 // set) and returned as a *repFailure carrying its class and attempt
 // count, which runPoint's circuit breaker inspects.
 func runRep(ctx context.Context, opt Options, key string, build func(seed int64) core.Config,
-	seed int64, extract func(*core.Result) []float64) (repRecord, error) {
+	seed int64, extract func(*core.Result) []float64) (RepRecord, error) {
 	var lastErr, lastRunErr error
 	var lastClass core.FailureClass
 	var lastCfg core.Config
 	var lastRes *core.Result
+	var backoffs []int64
 	attempts := 0
 	for attempt := 0; attempt <= opt.retries(); attempt++ {
 		if err := ctx.Err(); err != nil {
-			return repRecord{}, err
+			return RepRecord{}, err
 		}
 		if attempt > 0 {
+			pause := retryBackoff(key, seed, attempt)
+			if err := sleepCtx(ctx, pause); err != nil {
+				return RepRecord{}, err
+			}
+			backoffs = append(backoffs, pause.Milliseconds())
 			opt.Health.noteRetry()
 		}
 		attempts++
@@ -231,25 +268,75 @@ func runRep(ctx context.Context, opt Options, key string, build func(seed int64)
 		class := core.Classify(err)
 		switch {
 		case class == core.ClassCanceled:
-			return repRecord{}, err
+			return RepRecord{}, err
 		case err == nil && r.Aborted:
 			// Virtual-time stall killed by the watchdog: transient shape,
 			// retry under a perturbed seed.
 			lastErr = fmt.Errorf("seed %d: watchdog abort: %s", cfg.Seed, firstLine(r.AbortReason))
 			lastCfg, lastRes, lastRunErr, lastClass = cfg, r, nil, core.ClassTransient
 		case err == nil:
-			return repRecord{Seed: cfg.Seed, Values: bitsOf(extract(r))}, nil
+			return RepRecord{Seed: cfg.Seed, Values: bitsOf(extract(r)), Backoffs: backoffs}, nil
 		case failFast(class):
 			wrapped := fmt.Errorf("seed %d: %w", cfg.Seed, err)
 			emitBundle(opt, key, seed, cfg, nil, err)
-			return repRecord{}, &repFailure{err: wrapped, class: class, attempts: attempts}
+			return RepRecord{}, &repFailure{err: wrapped, class: class, attempts: attempts}
 		default:
 			lastErr = fmt.Errorf("seed %d: %w", cfg.Seed, err)
 			lastCfg, lastRes, lastRunErr, lastClass = cfg, nil, err, class
 		}
 	}
 	emitBundle(opt, key, seed, lastCfg, lastRes, lastRunErr)
-	return repRecord{}, &repFailure{err: lastErr, class: lastClass, attempts: attempts}
+	return RepRecord{}, &repFailure{err: lastErr, class: lastClass, attempts: attempts}
+}
+
+// Retry backoff envelope: the first retry waits at least
+// retryBackoffBase, each further retry doubles it, and no retry waits
+// longer than retryBackoffCap plus its jitter share.
+const (
+	retryBackoffBase = 50 * time.Millisecond
+	retryBackoffCap  = 2 * time.Second
+)
+
+// retryBackoff computes the pause before retry `attempt` (1-based) of
+// the replication identified by (key, seed): exponential growth from
+// retryBackoffBase capped at retryBackoffCap, plus jitter in [0, half
+// the uncapped delay] derived purely from the replication's identity.
+// Seeded jitter rather than rand/time keeps the whole retry schedule —
+// and therefore the Backoffs metadata persisted in the checkpoint —
+// reproducible, so a resumed sweep rewrites a byte-identical record.
+func retryBackoff(key string, seed int64, attempt int) time.Duration {
+	d := retryBackoffBase << (attempt - 1)
+	if d <= 0 || d > retryBackoffCap {
+		d = retryBackoffCap
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	x := splitmix64(h.Sum64() ^ uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(attempt)<<48)
+	return d + time.Duration(x%uint64(d/2+1))
+}
+
+// splitmix64 is the standard 64-bit finalizer used to turn an identity
+// into well-mixed jitter bits.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// sleepCtx waits d or until ctx ends, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // runAttempt builds and runs one configuration under the engine's

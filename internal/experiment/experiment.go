@@ -210,6 +210,21 @@ type RetransPoint struct {
 	Seeds []int64
 }
 
+// Sweep-point key builders. These strings are load-bearing: they key
+// the checkpoint ledger, so the sequential engine and the fleet layer
+// (internal/fleet) must derive them identically.
+func wanKey(scheme bs.Scheme, bad time.Duration, size units.ByteSize) string {
+	return fmt.Sprintf("wan/%v/bad=%v/size=%d", scheme, bad, size)
+}
+
+func fig9Key(scheme bs.Scheme, bad time.Duration, size units.ByteSize) string {
+	return fmt.Sprintf("fig9/%v/bad=%v/size=%d", scheme, bad, size)
+}
+
+func lanKey(scheme bs.Scheme, bad time.Duration) string {
+	return fmt.Sprintf("lan/%v/bad=%v", scheme, bad)
+}
+
 // wanSweep runs the WAN packet-size sweep for one scheme.
 func wanSweep(ctx context.Context, scheme bs.Scheme, opt Options) ([]ThroughputPoint, error) {
 	opt = opt.withDefaults()
@@ -217,10 +232,11 @@ func wanSweep(ctx context.Context, scheme bs.Scheme, opt Options) ([]ThroughputP
 	if err != nil {
 		return nil, err
 	}
+	defer ck.close()
 	var tps []ThroughputPoint
 	for _, bad := range opt.wanBadPeriods() {
 		for _, size := range opt.packetSizes() {
-			key := fmt.Sprintf("wan/%v/bad=%v/size=%d", scheme, bad, size)
+			key := wanKey(scheme, bad, size)
 			reps, err := runPoint(ctx, opt, ck, key, func(seed int64) core.Config {
 				return wanConfig(scheme, size, bad, opt, seed)
 			}, func(r *core.Result) []float64 {
@@ -321,11 +337,12 @@ func Fig9(ctx context.Context, opt Options) ([]RetransPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer ck.close()
 	var out []RetransPoint
 	for _, scheme := range []bs.Scheme{bs.Basic, bs.EBSN} {
 		for _, bad := range opt.wanBadPeriods() {
 			for _, size := range opt.packetSizes() {
-				key := fmt.Sprintf("fig9/%v/bad=%v/size=%d", scheme, bad, size)
+				key := fig9Key(scheme, bad, size)
 				reps, err := runPoint(ctx, opt, ck, key, func(seed int64) core.Config {
 					return wanConfig(scheme, size, bad, opt, seed)
 				}, func(r *core.Result) []float64 {
@@ -378,10 +395,11 @@ func LANStudy(ctx context.Context, opt Options) ([]LANPoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer ck.close()
 	var out []LANPoint
 	for _, scheme := range []bs.Scheme{bs.Basic, bs.EBSN} {
 		for _, bad := range opt.lanBadPeriods() {
-			key := fmt.Sprintf("lan/%v/bad=%v", scheme, bad)
+			key := lanKey(scheme, bad)
 			reps, err := runPoint(ctx, opt, ck, key, func(seed int64) core.Config {
 				return lanConfig(scheme, bad, opt, seed)
 			}, func(r *core.Result) []float64 {

@@ -1,0 +1,88 @@
+package experiment
+
+// Ledger is the fleet coordinator's exactly-once record of a campaign:
+// an exported handle on the same checkpoint store the sequential engine
+// uses, with the same fingerprint discipline, atomic persistence, and
+// exclusive file lock. Because the coordinator merges worker results
+// into an ordinary checkpoint file, finishing a sharded campaign and
+// then running the figure sweeps against that file reloads every point
+// — the output is byte-identical to a single-process run, and a
+// half-finished fleet campaign can even be completed by the sequential
+// engine (or vice versa).
+type Ledger struct {
+	ck *checkpoint
+}
+
+// OpenLedger opens (or creates) the campaign ledger at path, bound to
+// the result-affecting fingerprint of opt. It takes the exclusive
+// checkpoint lock; a live sequential sweep or second coordinator on the
+// same path is refused.
+func OpenLedger(path string, opt Options) (*Ledger, error) {
+	opt = opt.withDefaults()
+	ck, err := openCheckpoint(path, opt.fingerprint())
+	if err != nil {
+		return nil, err
+	}
+	return &Ledger{ck: ck}, nil
+}
+
+// Close releases the ledger's exclusive lock. Call it before handing
+// the file to the sequential engine for the merge pass.
+func (l *Ledger) Close() {
+	if l != nil {
+		l.ck.close()
+	}
+}
+
+// Path returns the ledger's on-disk location.
+func (l *Ledger) Path() string { return l.ck.path }
+
+// Has reports whether key is already settled — finished or
+// quarantined. A settled key is never dispatched (or re-recorded)
+// again; this is the "exactly once" half the lease protocol's
+// "at least once" needs.
+func (l *Ledger) Has(key string) bool {
+	if _, ok := l.ck.get(key); ok {
+		return true
+	}
+	_, ok := l.ck.getQuarantine(key)
+	return ok
+}
+
+// Reps returns the recorded replications for a finished key.
+func (l *Ledger) Reps(key string) ([]RepRecord, bool) {
+	return l.ck.get(key)
+}
+
+// Put records a finished point and persists the ledger atomically. It
+// is idempotent in effect: callers must check Has first (the
+// coordinator does, under its own mutex) so a duplicate result post is
+// dropped instead of re-recorded.
+func (l *Ledger) Put(key string, reps []RepRecord) error {
+	return l.ck.put(key, reps)
+}
+
+// PutQuarantine records a breaker-tripped point and persists the
+// ledger.
+func (l *Ledger) PutQuarantine(q Quarantine) error {
+	return l.ck.putQuarantine(q)
+}
+
+// Quarantined returns the recorded quarantines in ledger order.
+func (l *Ledger) Quarantined() []Quarantine {
+	l.ck.mu.Lock()
+	defer l.ck.mu.Unlock()
+	out := make([]Quarantine, 0, len(l.ck.quarOrder))
+	for _, k := range l.ck.quarOrder {
+		out = append(out, l.ck.quars[k])
+	}
+	return out
+}
+
+// Settled returns how many keys the ledger has settled (finished plus
+// quarantined).
+func (l *Ledger) Settled() int {
+	l.ck.mu.Lock()
+	defer l.ck.mu.Unlock()
+	return len(l.ck.order) + len(l.ck.quarOrder)
+}

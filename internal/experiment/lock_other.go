@@ -1,0 +1,9 @@
+//go:build !unix
+
+package experiment
+
+// acquireFileLock is a no-op on platforms without flock; the
+// concurrent-writer guard is advisory and unix-only.
+func acquireFileLock(path string) (release func(), err error) {
+	return func() {}, nil
+}

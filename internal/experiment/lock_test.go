@@ -1,0 +1,62 @@
+//go:build unix
+
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestCheckpointLockRejectsSecondEngine: while one engine holds a
+// checkpoint open, a second open of the same path must fail fast and
+// name the holder — two engines persisting over each other would
+// silently corrupt the sweep.
+func TestCheckpointLockRejectsSecondEngine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.json")
+	ck, err := openCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = openCheckpoint(path, "fp")
+	if err == nil {
+		t.Fatal("second open of a locked checkpoint succeeded, want locked-by error")
+	}
+	if !strings.Contains(err.Error(), "locked by another process") {
+		t.Errorf("second-open error %q does not say the checkpoint is locked", err)
+	}
+	if !strings.Contains(err.Error(), strconv.Itoa(os.Getpid())) {
+		t.Errorf("second-open error %q does not name the holder pid %d", err, os.Getpid())
+	}
+
+	// Release the lock: the next engine must get in, and the lock file
+	// is deliberately left behind (unlinking would race a concurrent
+	// opener into locking an orphaned inode).
+	ck.close()
+	ck2, err := openCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatalf("open after release: %v", err)
+	}
+	ck2.close()
+	ck2.close() // close is idempotent
+	if _, err := os.Stat(path + ".lock"); err != nil {
+		t.Errorf("lock file should remain in place after release: %v", err)
+	}
+}
+
+// TestLedgerLockGuardsSharedPath: the exported ledger (the fleet
+// coordinator's exactly-once store) inherits the same single-writer
+// guard as the engine checkpoint.
+func TestLedgerLockGuardsSharedPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ledger.json")
+	led, err := OpenLedger(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led.Close()
+	if _, err := openCheckpoint(path, "fp"); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Errorf("engine opened a checkpoint a live ledger holds: err = %v", err)
+	}
+}

@@ -1,0 +1,42 @@
+//go:build unix
+
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"syscall"
+)
+
+// acquireFileLock takes an exclusive advisory flock on path, creating it
+// if needed, and records this process's pid inside for diagnostics. It
+// fails fast (no blocking) when another process holds the lock, naming
+// the holder. The kernel drops the lock if the process dies, so a
+// SIGKILLed holder never leaves the path stale; the lock file itself is
+// deliberately left in place on release — unlinking it would race a
+// concurrent opener into locking an orphaned inode.
+func acquireFileLock(path string) (release func(), err error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("open lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		holder := "unknown pid"
+		if data, rerr := os.ReadFile(path); rerr == nil {
+			if pid := strings.TrimSpace(string(data)); pid != "" {
+				holder = "pid " + pid
+			}
+		}
+		f.Close()
+		return nil, fmt.Errorf("locked by another process (%s); two engines must not share one checkpoint file", holder)
+	}
+	// Best-effort holder tag; the flock itself is the guard.
+	f.Truncate(0)
+	fmt.Fprintf(f, "%d\n", os.Getpid())
+	f.Sync()
+	return func() {
+		syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		f.Close()
+	}, nil
+}

@@ -1,0 +1,170 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/core"
+	"wtcp/internal/units"
+)
+
+// This file is the engine's distributable face: a sweep point as a
+// value (PointSpec) instead of a pair of closures, the enumeration of a
+// campaign's whole point grid in canonical sweep order, and a runner
+// that executes one spec in isolation. internal/fleet ships PointSpecs
+// to workers over HTTP and merges the returned records into the same
+// checkpoint ledger the sequential engine writes — which is what makes
+// a sharded campaign's output bit-identical to a single-process run.
+
+// Sweep names accepted by SweepSpecs (the campaign manifest's "sweeps"
+// list).
+const (
+	SweepFig7 = "fig7" // WAN throughput vs packet size, basic TCP
+	SweepFig8 = "fig8" // WAN throughput vs packet size, EBSN
+	SweepFig9 = "fig9" // WAN retransmitted data, both schemes
+	SweepLAN  = "lan"  // LAN throughput + retransmitted data, both schemes
+)
+
+// PointSpec identifies one sweep point of a named figure sweep. It is
+// pure data — JSON-serializable, comparable — and, together with the
+// campaign Options, determines the point's build/extract behaviour and
+// its checkpoint key exactly as the sequential sweep loops do.
+type PointSpec struct {
+	// Sweep is one of the Sweep* constants.
+	Sweep string `json:"sweep"`
+	// Scheme is the bs.Scheme name ("basic", "ebsn", ...).
+	Scheme string `json:"scheme"`
+	// Bad is the mean bad-period for the point.
+	Bad time.Duration `json:"bad_ns"`
+	// Size is the wired packet size; zero for LAN points (the LAN sweep
+	// does not sweep packet size).
+	Size units.ByteSize `json:"size_bytes,omitempty"`
+}
+
+// Key returns the point's checkpoint-ledger key, identical to the one
+// the sequential sweep loop would use.
+func (s PointSpec) Key() (string, error) {
+	scheme, err := bs.ParseScheme(s.Scheme)
+	if err != nil {
+		return "", fmt.Errorf("experiment: point spec: %w", err)
+	}
+	switch s.Sweep {
+	case SweepFig7, SweepFig8:
+		return wanKey(scheme, s.Bad, s.Size), nil
+	case SweepFig9:
+		return fig9Key(scheme, s.Bad, s.Size), nil
+	case SweepLAN:
+		return lanKey(scheme, s.Bad), nil
+	default:
+		return "", fmt.Errorf("experiment: point spec: unknown sweep %q (want %s, %s, %s, or %s)",
+			s.Sweep, SweepFig7, SweepFig8, SweepFig9, SweepLAN)
+	}
+}
+
+// SweepSpecs enumerates the full point grid of the named sweeps under
+// opt, in the exact order the sequential engine visits them. The order
+// matters to no one's correctness — results merge by key — but keeping
+// it canonical makes coordinator logs and snapshots line up with the
+// sequential engine's progress output.
+func SweepSpecs(opt Options, sweeps []string) ([]PointSpec, error) {
+	opt = opt.withDefaults()
+	var out []PointSpec
+	for _, sweep := range sweeps {
+		switch sweep {
+		case SweepFig7, SweepFig8:
+			scheme := bs.Basic
+			if sweep == SweepFig8 {
+				scheme = bs.EBSN
+			}
+			for _, bad := range opt.wanBadPeriods() {
+				for _, size := range opt.packetSizes() {
+					out = append(out, PointSpec{Sweep: sweep, Scheme: scheme.String(), Bad: bad, Size: size})
+				}
+			}
+		case SweepFig9:
+			for _, scheme := range []bs.Scheme{bs.Basic, bs.EBSN} {
+				for _, bad := range opt.wanBadPeriods() {
+					for _, size := range opt.packetSizes() {
+						out = append(out, PointSpec{Sweep: sweep, Scheme: scheme.String(), Bad: bad, Size: size})
+					}
+				}
+			}
+		case SweepLAN:
+			for _, scheme := range []bs.Scheme{bs.Basic, bs.EBSN} {
+				for _, bad := range opt.lanBadPeriods() {
+					out = append(out, PointSpec{Sweep: sweep, Scheme: scheme.String(), Bad: bad})
+				}
+			}
+		default:
+			return nil, fmt.Errorf("experiment: unknown sweep %q (want %s, %s, %s, or %s)",
+				sweep, SweepFig7, SweepFig8, SweepFig9, SweepLAN)
+		}
+	}
+	return out, nil
+}
+
+// buildExtract resolves the spec into the same build/extract pair the
+// sequential sweep loop would construct for the point.
+func (s PointSpec) buildExtract(opt Options) (func(int64) core.Config, func(*core.Result) []float64, error) {
+	scheme, err := bs.ParseScheme(s.Scheme)
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiment: point spec: %w", err)
+	}
+	switch s.Sweep {
+	case SweepFig7, SweepFig8:
+		return func(seed int64) core.Config {
+				return wanConfig(scheme, s.Size, s.Bad, opt, seed)
+			}, func(r *core.Result) []float64 {
+				return []float64{r.Summary.ThroughputKbps, r.Summary.Goodput}
+			}, nil
+	case SweepFig9:
+		return func(seed int64) core.Config {
+				return wanConfig(scheme, s.Size, s.Bad, opt, seed)
+			}, func(r *core.Result) []float64 {
+				return []float64{r.Summary.RetransmittedKB(), float64(r.Summary.Timeouts)}
+			}, nil
+	case SweepLAN:
+		return func(seed int64) core.Config {
+				return lanConfig(scheme, s.Bad, opt, seed)
+			}, func(r *core.Result) []float64 {
+				return []float64{r.Summary.ThroughputMbps, r.Summary.RetransmittedKB(), float64(r.Summary.Timeouts)}
+			}, nil
+	default:
+		return nil, nil, fmt.Errorf("experiment: point spec: unknown sweep %q", s.Sweep)
+	}
+}
+
+// PointOutcome is the result of executing one PointSpec: exactly one of
+// Reps (the seed-ordered replication records) or Quarantine (the point
+// tripped its circuit breaker under supervision) is set.
+type PointOutcome struct {
+	Key        string      `json:"key"`
+	Reps       []RepRecord `json:"reps,omitempty"`
+	Quarantine *Quarantine `json:"quarantine,omitempty"`
+}
+
+// RunPointSpec executes one sweep point exactly as the sequential
+// engine would — same seeds, same retry/backoff schedule, same
+// classification policy — but with no checkpoint involved: the caller
+// (a fleet worker) owns delivering the outcome to the ledger. Fail-fast
+// failures (protocol-bug, panic) and cancellation return an error;
+// with opt.Supervise armed, breaker trips return a Quarantine record
+// instead.
+func RunPointSpec(ctx context.Context, opt Options, spec PointSpec) (PointOutcome, error) {
+	opt = opt.withDefaults()
+	key, err := spec.Key()
+	if err != nil {
+		return PointOutcome{}, err
+	}
+	build, extract, err := spec.buildExtract(opt)
+	if err != nil {
+		return PointOutcome{}, err
+	}
+	reps, quar, err := executePoint(ctx, opt, key, build, extract)
+	if err != nil {
+		return PointOutcome{}, err
+	}
+	return PointOutcome{Key: key, Reps: reps, Quarantine: quar}, nil
+}

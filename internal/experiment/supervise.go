@@ -66,6 +66,11 @@ type Quarantine struct {
 	Attempts int `json:"attempts"`
 	// Reason is the final attempt's error.
 	Reason string `json:"reason"`
+	// Worker names the fleet worker that last held the point when the
+	// breaker tripped (empty for single-process sweeps), so degraded
+	// distributed campaigns stay auditable in the report's quarantine
+	// table.
+	Worker string `json:"worker,omitempty"`
 }
 
 // Supervisor arms the per-point circuit breaker for a sweep and

@@ -1,0 +1,105 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"wtcp/internal/chaos"
+)
+
+// faultTransport is an http.RoundTripper that applies a
+// chaos.FleetFaults plan to the worker's coordinator RPCs: renewals and
+// result posts can be dropped (transport error before delivery),
+// duplicated (delivered twice, second reply discarded), or delayed
+// (held before delivery — long enough to lapse a lease when the plan
+// wants it to). Faults draw from a seeded RNG so a chaotic campaign
+// replays identically from (plan, seed).
+//
+// Dropping a result post after delivery would be indistinguishable from
+// a lost reply, which is exactly the case the coordinator's duplicate
+// handling exists for — the dup fault covers it from the other side:
+// the coordinator sees the same post twice and must count it once.
+type faultTransport struct {
+	faults *chaos.FleetFaults
+	next   http.RoundTripper
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewFaultClient wraps an HTTP client with the fault plan. A nil or
+// disabled plan returns a plain client.
+func NewFaultClient(faults *chaos.FleetFaults, seed int64) *http.Client {
+	if !faults.Enabled() {
+		return &http.Client{}
+	}
+	if faults.Seed != 0 {
+		seed = faults.Seed
+	}
+	return &http.Client{Transport: &faultTransport{
+		faults: faults,
+		next:   http.DefaultTransport,
+		rng:    rand.New(rand.NewSource(seed)),
+	}}
+}
+
+// RoundTrip applies the plan to the matching RPC class and forwards the
+// request.
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	var f chaos.RPCFaults
+	switch {
+	case strings.HasSuffix(req.URL.Path, "/v1/renew"):
+		f = t.faults.Renew
+	case strings.HasSuffix(req.URL.Path, "/v1/result"):
+		f = t.faults.Result
+	default:
+		return t.next.RoundTrip(req)
+	}
+	if !f.Enabled() {
+		return t.next.RoundTrip(req)
+	}
+
+	t.mu.Lock()
+	drop := t.rng.Float64() < f.DropProb
+	dup := t.rng.Float64() < f.DupProb
+	delay := t.rng.Float64() < f.DelayProb
+	t.mu.Unlock()
+
+	if drop {
+		return nil, fmt.Errorf("fleet chaos: dropped %s", req.URL.Path)
+	}
+	if delay {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(f.Delay()):
+		}
+	}
+	if dup {
+		// Deliver once and discard the reply, then deliver again and
+		// return that reply — the coordinator sees two identical posts,
+		// like a client that retried after losing the first response.
+		first, err := t.next.RoundTrip(cloneRequest(req))
+		if err == nil {
+			first.Body.Close()
+		}
+	}
+	return t.next.RoundTrip(req)
+}
+
+// cloneRequest copies the request for a duplicate delivery. Bodies in
+// this protocol are small JSON buffers already materialized by the
+// caller, so GetBody is always available.
+func cloneRequest(req *http.Request) *http.Request {
+	out := req.Clone(req.Context())
+	if req.GetBody != nil {
+		if body, err := req.GetBody(); err == nil {
+			out.Body = body
+		}
+	}
+	return out
+}

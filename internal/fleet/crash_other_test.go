@@ -1,0 +1,7 @@
+//go:build !unix
+
+package fleet
+
+// runTestWorker is only reachable on unix (the crash suite re-execs the
+// test binary there); elsewhere TestMain never dispatches to it.
+func runTestWorker() {}

@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"wtcp/internal/experiment"
+)
+
+// Wire protocol between coordinator and workers: five JSON-over-HTTP
+// endpoints rooted at the coordinator's base URL.
+//
+//	GET  /v1/campaign  -> Campaign        (workers fetch the manifest)
+//	POST /v1/lease     -> leaseReply      (request a work unit)
+//	POST /v1/renew     -> renewReply      (heartbeat a held lease)
+//	POST /v1/result    -> resultReply     (deliver a unit's outcome)
+//	GET  /v1/status    -> Snapshot        (fleet health aggregate)
+//
+// The protocol is deliberately boring — request/response, no streaming,
+// no worker-side server — because every robustness property lives in
+// the state machine, not the transport: a lease is only held while
+// renewals keep arriving, and a result is only counted if its key is
+// not yet settled in the ledger.
+
+// workUnit is one leased sweep point.
+type workUnit struct {
+	// Lease identifies this grant; renewals and the result must echo it.
+	Lease uint64 `json:"lease"`
+	// Key is the point's ledger key (also derivable from Spec; sent so
+	// workers can log and report without recomputing).
+	Key string `json:"key"`
+	// Spec is the point to execute.
+	Spec experiment.PointSpec `json:"spec"`
+	// TTLMs is the lease duration; the worker must renew well inside it.
+	TTLMs int64 `json:"ttl_ms"`
+	// Stolen marks a straggler re-dispatch: another worker still holds
+	// an older lease on the same point and the first finisher wins.
+	Stolen bool `json:"stolen,omitempty"`
+}
+
+// leaseRequest asks for work. Health piggybacks the worker's engine
+// heartbeat so the coordinator's fleet snapshot stays current without a
+// separate telemetry channel.
+type leaseRequest struct {
+	Worker string                     `json:"worker"`
+	Health *experiment.HealthSnapshot `json:"health,omitempty"`
+}
+
+// leaseReply grants a unit, asks the worker to wait, or ends the
+// campaign.
+type leaseReply struct {
+	// Done tells the worker the campaign is over (all points settled, or
+	// the campaign failed); the worker exits.
+	Done bool `json:"done,omitempty"`
+	// Unit is the granted work unit, nil when none is available.
+	Unit *workUnit `json:"unit,omitempty"`
+	// WaitMs asks an idle worker to poll again after this long (set when
+	// Unit is nil and Done is false: all remaining points are leased to
+	// live holders and none qualifies for stealing yet).
+	WaitMs int64 `json:"wait_ms,omitempty"`
+}
+
+// renewRequest heartbeats a held lease.
+type renewRequest struct {
+	Worker string                     `json:"worker"`
+	Lease  uint64                     `json:"lease"`
+	Health *experiment.HealthSnapshot `json:"health,omitempty"`
+}
+
+// renewReply extends the lease or tells the worker to abandon the unit
+// (the lease expired or the point settled first — e.g. a thief won).
+type renewReply struct {
+	OK    bool  `json:"ok"`
+	TTLMs int64 `json:"ttl_ms,omitempty"`
+}
+
+// resultRequest delivers a unit's outcome. Exactly one of
+// Outcome.Reps, Outcome.Quarantine, or Failure is meaningful.
+type resultRequest struct {
+	Worker  string                  `json:"worker"`
+	Lease   uint64                  `json:"lease"`
+	Outcome experiment.PointOutcome `json:"outcome"`
+	// Failure carries a fail-fast error (protocol bug, panic): the
+	// campaign must stop, not retry, exactly as the sequential engine
+	// would.
+	Failure string                     `json:"failure,omitempty"`
+	Health  *experiment.HealthSnapshot `json:"health,omitempty"`
+}
+
+// resultReply acknowledges a result post. Both a fresh accept and a
+// duplicate drop return HTTP 200 — the worker's obligation ends either
+// way; Duplicate is telemetry.
+type resultReply struct {
+	Accepted  bool `json:"accepted"`
+	Duplicate bool `json:"duplicate,omitempty"`
+}

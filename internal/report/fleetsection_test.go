@@ -1,0 +1,22 @@
+package report
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestFleetSectionMirroredInReplicationDoc pins the committed
+// REPLICATION.md against the generator: the sharded-campaign
+// walkthrough is static text, so the committed doc must carry it
+// verbatim — otherwise the next `make report` run would silently
+// rewrite it.
+func TestFleetSectionMirroredInReplicationDoc(t *testing.T) {
+	data, err := os.ReadFile("../../REPLICATION.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), fleetSection) {
+		t.Error("REPLICATION.md does not contain the generator's fleet section verbatim; regenerate with `make report` or update both")
+	}
+}
