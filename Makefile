@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check conformance budget-smoke fleet-smoke goldens bench bench-baseline bench-compare bench-smoke figures traces report fuzz fuzz-smoke clean
+.PHONY: all build vet test test-race check conformance budget-smoke fleet-smoke serve-smoke goldens bench bench-baseline bench-compare bench-smoke figures traces report fuzz fuzz-smoke clean
 
 all: build vet test
 
 # Pre-PR gate: static analysis plus the full suite under the race
 # detector (the simulator is single-threaded by design; -race proves it),
-# plus the protocol-conformance, run-supervision, and fleet gates.
-check: vet test-race conformance budget-smoke fleet-smoke
+# plus the protocol-conformance, run-supervision, fleet, and service gates.
+check: vet test-race conformance budget-smoke fleet-smoke serve-smoke
 
 # Supervision gate: a tiny sweep with one pathological (livelocking)
 # point under aggressive run budgets, with the worker pool and heartbeat
@@ -24,6 +24,15 @@ budget-smoke:
 # sequential engine's output.
 fleet-smoke:
 	$(GO) test -race -run TestFleetSmoke ./internal/fleet/
+
+# Service gate: the wtcpd storm/drain acceptance test under -race — a
+# seeded 50-request storm with chaos-injected malformed bodies and
+# client disconnects against a 2-slot server, SIGTERM drain mid-storm,
+# restart, and resume; asserts nothing lost, nothing double-run, finite
+# Retry-After on rejects, byte-identical cache hits — plus the
+# single-flight dedup test.
+serve-smoke:
+	$(GO) test -race -run 'TestServeStormDrainResume|TestSingleFlightDeduplicatesConcurrentRequests' ./internal/serve/
 
 # Conformance gate: the oracle/trace/ARQ suites under -race, then the
 # golden-trace drift check against the committed canonical scenarios.
@@ -87,7 +96,8 @@ report:
 fuzz:
 	$(GO) test -fuzz=FuzzReassembler -fuzztime=30s ./internal/ip
 	$(GO) test -fuzz=FuzzSenderAckStream -fuzztime=30s ./internal/tcp
-	$(GO) test -fuzz=FuzzScenario -fuzztime=30s ./cmd/wtcp-sim
+	$(GO) test -fuzz=FuzzScenario -fuzztime=30s ./internal/scenario
+	$(GO) test -fuzz=FuzzRunRequest -fuzztime=30s ./internal/serve
 	$(GO) test -fuzz=FuzzChaosParse -fuzztime=30s ./internal/chaos
 
 # CI-sized fuzzing: ~10s per target, enough to catch regressions on the
@@ -95,7 +105,8 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzReassembler -fuzztime=10s ./internal/ip
 	$(GO) test -fuzz=FuzzSenderAckStream -fuzztime=10s ./internal/tcp
-	$(GO) test -fuzz=FuzzScenario -fuzztime=10s ./cmd/wtcp-sim
+	$(GO) test -fuzz=FuzzScenario -fuzztime=10s ./internal/scenario
+	$(GO) test -fuzz=FuzzRunRequest -fuzztime=10s ./internal/serve
 	$(GO) test -fuzz=FuzzChaosParse -fuzztime=10s ./internal/chaos
 
 clean:

@@ -7,15 +7,27 @@
 //	wtcp-advisor                      # calibrate and print the table
 //	wtcp-advisor -query 2.5s          # calibrate, then recommend for 2.5s fades
 //	wtcp-advisor -reps 10 -csv        # higher-confidence calibration, CSV out
+//
+// With -server it skips local calibration and asks a running wtcpd,
+// whose content-addressed cache and shared point ledgers make repeat
+// and overlapping queries nearly free:
+//
+//	wtcp-advisor -server http://127.0.0.1:8787 -query 2.5s
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	"net/url"
 	"os"
+	"time"
 
 	"wtcp/internal/experiment"
+	"wtcp/internal/serve"
 )
 
 func main() {
@@ -28,12 +40,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("wtcp-advisor", flag.ContinueOnError)
 	var (
-		reps  = fs.Int("reps", 5, "replications per calibration point")
-		query = fs.Duration("query", 0, "optionally recommend a packet size for this mean bad period")
-		csv   = fs.Bool("csv", false, "emit the table as CSV")
+		reps   = fs.Int("reps", 5, "replications per calibration point")
+		query  = fs.Duration("query", 0, "optionally recommend a packet size for this mean bad period")
+		csv    = fs.Bool("csv", false, "emit the table as CSV")
+		server = fs.String("server", "", "query a running wtcpd (base URL) instead of calibrating locally")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *server != "" {
+		return runRemote(*server, *query, *csv)
 	}
 	advisor, err := experiment.CalibrateAdvisor(context.Background(), experiment.Options{Replications: *reps})
 	if err != nil {
@@ -52,5 +68,63 @@ func run(args []string) error {
 		size := advisor.Recommend(*query)
 		fmt.Printf("recommended packet size for %v fades: %s\n", *query, size)
 	}
+	return nil
+}
+
+// runRemote asks a wtcpd for the advisory column of one error
+// characteristic. The server settles only the calibration points nobody
+// has computed yet (sweep campaigns and earlier advise queries share
+// its point ledgers), so this is cheap against a warm server.
+func runRemote(base string, query time.Duration, csv bool) error {
+	if query <= 0 {
+		return fmt.Errorf("-server needs -query (the observed mean bad period, e.g. -query 2.5s)")
+	}
+	u, err := url.Parse(base)
+	if err != nil {
+		return fmt.Errorf("parse -server: %w", err)
+	}
+	u = u.JoinPath("/v1/advise")
+	u.RawQuery = url.Values{"bad": {query.String()}}.Encode()
+
+	resp, err := http.Get(u.String())
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("wtcpd: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("wtcpd: HTTP %d", resp.StatusCode)
+	}
+	var adv serve.AdviseResponse
+	if err := json.Unmarshal(body, &adv); err != nil {
+		return fmt.Errorf("decode wtcpd response: %w", err)
+	}
+
+	if csv {
+		fmt.Println("packet_size_bytes,throughput_kbps")
+		for _, e := range adv.Table {
+			fmt.Printf("%d,%.2f\n", e.PacketSizeBytes, e.ThroughputKbps)
+		}
+	} else {
+		fmt.Printf("advisory column for %s fades (server %s, cache %s):\n",
+			adv.MeanBad, base, resp.Header.Get("X-Wtcpd-Cache"))
+		for _, e := range adv.Table {
+			fmt.Printf("  %-6d -> %.2f Kbps\n", e.PacketSizeBytes, e.ThroughputKbps)
+		}
+		for _, q := range adv.Quarantined {
+			fmt.Printf("  quarantined: %s\n", q)
+		}
+	}
+	fmt.Printf("recommended packet size for %s fades: %d bytes (%.2f Kbps)\n",
+		adv.MeanBad, adv.RecommendedPacketSizeBytes, adv.ThroughputKbps)
 	return nil
 }

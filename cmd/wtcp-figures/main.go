@@ -99,13 +99,8 @@ func run(ctx context.Context, args []string) error {
 		sup = experiment.NewSupervisor()
 	}
 	health := experiment.NewHealth()
-	health.SetStatusPath(*statusPath)
-	stopSig := health.NotifyOnSignal(os.Stderr)
-	defer stopSig()
+	defer health.Heartbeat(*statusPath, os.Stderr)()
 	defer func() {
-		if err := health.WriteStatus(); err != nil {
-			fmt.Fprintln(os.Stderr, "wtcp-figures:", err)
-		}
 		for _, q := range sup.Quarantined() {
 			fmt.Fprintf(os.Stderr, "quarantined: %s [%s after %d attempt(s)]: %s\n",
 				q.Key, q.Class, q.Attempts, q.Reason)

@@ -64,9 +64,8 @@ func run(ctx context.Context, args []string, out *os.File) (int, error) {
 		return 1, err
 	}
 	health := experiment.NewHealth()
-	health.SetStatusPath(*statusPath)
-	stopSig := health.NotifyOnSignal(os.Stderr)
-	defer stopSig()
+	stopBeat := health.Heartbeat(*statusPath, os.Stderr)
+	defer stopBeat()
 	md, err := report.Generate(ctx, report.Options{
 		Replications: *reps,
 		Quick:        *quick,
@@ -80,9 +79,7 @@ func run(ctx context.Context, args []string, out *os.File) (int, error) {
 		NoRunBudget: *noRunBudget,
 		Health:      health,
 	})
-	if werr := health.WriteStatus(); werr != nil {
-		fmt.Fprintln(os.Stderr, "wtcp-report:", werr)
-	}
+	stopBeat()
 	if err != nil {
 		return 1, err
 	}

@@ -19,6 +19,7 @@ import (
 	"wtcp/internal/core"
 	"wtcp/internal/experiment"
 	"wtcp/internal/prof"
+	"wtcp/internal/scenario"
 	"wtcp/internal/sim"
 	"wtcp/internal/stats"
 	"wtcp/internal/units"
@@ -76,7 +77,7 @@ func run(args []string) error {
 
 	var fromFile *core.Config
 	if *configPath != "" {
-		loaded, err := loadScenario(*configPath)
+		loaded, err := scenario.Load(*configPath)
 		if err != nil {
 			return err
 		}
@@ -132,9 +133,8 @@ func run(args []string) error {
 	}
 
 	health := experiment.NewHealth()
-	health.SetStatusPath(*statusPath)
-	stopSig := health.NotifyOnSignal(os.Stderr)
-	defer stopSig()
+	stopBeat := health.Heartbeat(*statusPath, os.Stderr)
+	defer stopBeat()
 
 	var tput, goodput, retrans, timeouts stats.Sample
 	var last *core.Result
@@ -173,9 +173,7 @@ func run(args []string) error {
 		timeouts.Add(float64(r.Summary.Timeouts))
 		last = r
 	}
-	if err := health.WriteStatus(); err != nil {
-		fmt.Fprintln(os.Stderr, "wtcp-sim:", err)
-	}
+	stopBeat()
 	if tput.N() == 0 {
 		switch {
 		case exhausted > 0 && aborted == 0:

@@ -1,0 +1,168 @@
+//go:build unix
+
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startServer launches run() in a goroutine and returns the base URL it
+// listens on plus a channel carrying its exit error. The caller drives
+// shutdown by sending SIGTERM to the test process — the same signal a
+// supervisor would send — and waits on the channel.
+func startServer(t *testing.T, args []string) (string, <-chan error) {
+	t.Helper()
+	pr, pw := io.Pipe()
+	errCh := make(chan error, 1)
+	go func() {
+		err := run(args, pw)
+		pw.Close()
+		errCh <- err
+	}()
+	lines := bufio.NewScanner(pr)
+	for lines.Scan() {
+		line := lines.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			addr := strings.Fields(line[i+len("listening on "):])[0]
+			// Drain the rest of the pipe so run() never blocks on writes.
+			go func() {
+				for lines.Scan() {
+				}
+			}()
+			return "http://" + addr, errCh
+		}
+	}
+	select {
+	case err := <-errCh:
+		t.Fatalf("server exited before listening: %v", err)
+	default:
+		t.Fatal("server output ended before listening line")
+	}
+	return "", nil
+}
+
+func sigterm(t *testing.T) {
+	t.Helper()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func waitExit(t *testing.T, errCh <-chan error) {
+	t.Helper()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("server exit: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}
+
+func TestServeRunAndGracefulExit(t *testing.T) {
+	dir := t.TempDir()
+	base, errCh := startServer(t, []string{"-data", dir, "-addr", "127.0.0.1:0"})
+
+	body := []byte(`{"scenario":{"mean_bad":"4s","transfer_kb":50,"seed":3}}`)
+	resp, err := http.Post(base+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: HTTP %d: %s", resp.StatusCode, fresh)
+	}
+	resp, err = http.Post(base+"/v1/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Wtcpd-Cache") != "hit" || !bytes.Equal(fresh, cached) {
+		t.Errorf("repeat request: cache=%q identical=%v", resp.Header.Get("X-Wtcpd-Cache"), bytes.Equal(fresh, cached))
+	}
+	if resp, err := http.Get(base + "/healthz"); err == nil {
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("/healthz: HTTP %d", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	sigterm(t)
+	waitExit(t, errCh)
+}
+
+func TestDrainJournalsInFlightWorkAndRestartResumes(t *testing.T) {
+	dir := t.TempDir()
+	base, errCh := startServer(t, []string{"-data", dir, "-addr", "127.0.0.1:0", "-drain-grace", "50ms"})
+
+	// Enough replications that the run is still going when the drain hits.
+	body := []byte(`{"scenario":{"mean_bad":"4s","transfer_kb":100000,"seed":5},"replications":32}`)
+	got := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			got <- 0
+			return
+		}
+		resp.Body.Close()
+		got <- resp.StatusCode
+	}()
+	time.Sleep(150 * time.Millisecond) // admitted and executing
+	sigterm(t)
+	waitExit(t, errCh)
+	if status := <-got; status != http.StatusServiceUnavailable {
+		t.Fatalf("drained in-flight request: HTTP %d, want 503", status)
+	}
+
+	pending, err := os.ReadDir(filepath.Join(dir, "pending"))
+	if err != nil || len(pending) != 1 {
+		t.Fatalf("journal after drain: %d entries (err %v), want 1", len(pending), err)
+	}
+	fp := strings.TrimSuffix(pending[0].Name(), ".json")
+
+	// Second life on the same data directory resumes and finishes it.
+	base2, errCh2 := startServer(t, []string{"-data", dir, "-addr", "127.0.0.1:0"})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/result/%s", base2, fp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			if !strings.Contains(string(data), fp) {
+				t.Errorf("result body does not carry its fingerprint: %s", data)
+			}
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("resumed result: HTTP %d: %s", resp.StatusCode, data)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("resumed work never finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	sigterm(t)
+	waitExit(t, errCh2)
+}
+
+func TestDataFlagIsRequired(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:0"}, io.Discard); err == nil {
+		t.Fatal("run without -data succeeded")
+	}
+}

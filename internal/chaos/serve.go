@@ -1,0 +1,169 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// This file extends the fault-injection subsystem to the HTTP boundary
+// of the wtcpd query service (internal/serve): adversarial client
+// behaviour — malformed bodies, mid-request disconnects, slow-loris
+// writes — decided deterministically per request from (config, seed),
+// so a chaotic request storm is reproducible and the acceptance tests
+// can pin exactly which requests misbehave. The guarantees wtcpd must
+// keep under these faults (malformed never admits, a disconnected
+// client's accepted work still completes and caches, overload sheds
+// with 429 + finite Retry-After) are the ones its tests assert.
+
+// ServeFault is the client behaviour chosen for one request.
+type ServeFault int
+
+const (
+	// ServeNone sends the request normally.
+	ServeNone ServeFault = iota
+	// ServeMalformed truncates and corrupts the request body; the server
+	// must answer 400 and never admit the request.
+	ServeMalformed
+	// ServeDisconnect abandons the request mid-flight (client context
+	// canceled after the request is sent); accepted work must survive.
+	ServeDisconnect
+	// ServeSlowLoris trickles the request in after a hold, occupying the
+	// connection without occupying a run slot.
+	ServeSlowLoris
+)
+
+// String names the fault for logs and test failure messages.
+func (f ServeFault) String() string {
+	switch f {
+	case ServeNone:
+		return "none"
+	case ServeMalformed:
+		return "malformed"
+	case ServeDisconnect:
+		return "disconnect"
+	case ServeSlowLoris:
+		return "slow-loris"
+	default:
+		return fmt.Sprintf("serve-fault(%d)", int(f))
+	}
+}
+
+// ServeFaults is a fault plan for a client request storm against wtcpd.
+// Zero value injects nothing. Probabilities are evaluated in order
+// (malformed, disconnect, slow) against one uniform draw per request,
+// so they partition: their sum must not exceed 1.
+type ServeFaults struct {
+	// MalformedProb is the probability a request's body is corrupted
+	// into undecodable bytes.
+	MalformedProb float64 `json:"malformed_prob,omitempty"`
+	// DisconnectProb is the probability the client walks away
+	// mid-request.
+	DisconnectProb float64 `json:"disconnect_prob,omitempty"`
+	// SlowProb is the probability the client holds the request for
+	// SlowMs before completing it.
+	SlowProb float64 `json:"slow_prob,omitempty"`
+	// SlowMs is the slow-loris hold, in milliseconds.
+	SlowMs int64 `json:"slow_ms,omitempty"`
+	// Seed drives the per-request fault choice; the same (plan, seed,
+	// request index) always rolls the same fault.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Enabled reports whether the plan injects anything.
+func (f *ServeFaults) Enabled() bool {
+	return f != nil && (f.MalformedProb > 0 || f.DisconnectProb > 0 || f.SlowProb > 0)
+}
+
+// SlowHold returns the slow-loris hold duration.
+func (f *ServeFaults) SlowHold() time.Duration { return time.Duration(f.SlowMs) * time.Millisecond }
+
+// Validate rejects out-of-range knobs with messages that say how to fix
+// the field.
+func (f *ServeFaults) Validate() error {
+	if f == nil {
+		return nil
+	}
+	for _, p := range []struct {
+		field string
+		v     float64
+	}{
+		{"malformed_prob", f.MalformedProb}, {"disconnect_prob", f.DisconnectProb}, {"slow_prob", f.SlowProb},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("chaos: serve %s %v outside [0, 1]", p.field, p.v)
+		}
+	}
+	if sum := f.MalformedProb + f.DisconnectProb + f.SlowProb; sum > 1 {
+		return fmt.Errorf("chaos: serve fault probabilities sum to %v > 1; they partition one draw per request", sum)
+	}
+	if f.SlowMs < 0 {
+		return fmt.Errorf("chaos: serve slow_ms %d is negative", f.SlowMs)
+	}
+	if f.SlowProb > 0 && f.SlowMs == 0 {
+		return fmt.Errorf("chaos: serve slow_prob set but slow_ms is zero; give the hold duration")
+	}
+	return nil
+}
+
+// ParseServe decodes and validates a JSON serve fault plan. Unknown
+// fields are rejected so a typoed knob fails loudly instead of silently
+// injecting nothing.
+func ParseServe(data []byte) (*ServeFaults, error) {
+	var f ServeFaults
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("chaos: parse serve faults: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Roll decides the fault for request index i. Pure function of (plan,
+// seed, i): no shared RNG state, so concurrent storm goroutines can
+// roll their own requests and a rerun reproduces the same fault
+// schedule exactly.
+func (f *ServeFaults) Roll(i uint64) ServeFault {
+	if !f.Enabled() {
+		return ServeNone
+	}
+	x := serveMix(uint64(f.Seed)*0x9e3779b97f4a7c15 + i + 1)
+	u := float64(x>>11) / (1 << 53)
+	switch {
+	case u < f.MalformedProb:
+		return ServeMalformed
+	case u < f.MalformedProb+f.DisconnectProb:
+		return ServeDisconnect
+	case u < f.MalformedProb+f.DisconnectProb+f.SlowProb:
+		return ServeSlowLoris
+	default:
+		return ServeNone
+	}
+}
+
+// Corrupt renders a malformed variant of body for a ServeMalformed
+// request: a strict prefix, which for a JSON document is always
+// undecodable (the top-level value is left unterminated), with the cut
+// point varying by request index to cover different failure points in
+// the decoder.
+func (f *ServeFaults) Corrupt(body []byte, i uint64) []byte {
+	x := serveMix(uint64(f.Seed) ^ (i+1)*0xbf58476d1ce4e5b9)
+	if len(body) < 2 {
+		return []byte("{")
+	}
+	cut := 1 + int(x%uint64(len(body)-1))
+	return append([]byte(nil), body[:cut]...)
+}
+
+// serveMix is the standard splitmix64 finalizer: turns an identity into
+// uniform bits without any shared generator.
+func serveMix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,110 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestServeFaultsRollDeterministic(t *testing.T) {
+	f := &ServeFaults{MalformedProb: 0.2, DisconnectProb: 0.2, SlowProb: 0.1, SlowMs: 50, Seed: 7}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g := &ServeFaults{MalformedProb: 0.2, DisconnectProb: 0.2, SlowProb: 0.1, SlowMs: 50, Seed: 7}
+	for i := uint64(0); i < 200; i++ {
+		if f.Roll(i) != g.Roll(i) {
+			t.Fatalf("roll %d not deterministic: %v vs %v", i, f.Roll(i), g.Roll(i))
+		}
+	}
+	other := &ServeFaults{MalformedProb: 0.2, DisconnectProb: 0.2, SlowProb: 0.1, SlowMs: 50, Seed: 8}
+	same := 0
+	for i := uint64(0); i < 200; i++ {
+		if f.Roll(i) == other.Roll(i) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("seed does not influence the fault schedule")
+	}
+}
+
+func TestServeFaultsRollPartitions(t *testing.T) {
+	f := &ServeFaults{MalformedProb: 0.3, DisconnectProb: 0.3, SlowProb: 0.2, SlowMs: 10, Seed: 3}
+	counts := map[ServeFault]int{}
+	const n = 10_000
+	for i := uint64(0); i < n; i++ {
+		counts[f.Roll(i)]++
+	}
+	check := func(fault ServeFault, want float64) {
+		got := float64(counts[fault]) / n
+		if got < want-0.05 || got > want+0.05 {
+			t.Errorf("%v frequency = %.3f, want ~%.2f", fault, got, want)
+		}
+	}
+	check(ServeMalformed, 0.3)
+	check(ServeDisconnect, 0.3)
+	check(ServeSlowLoris, 0.2)
+	check(ServeNone, 0.2)
+}
+
+func TestServeFaultsZeroValueInjectsNothing(t *testing.T) {
+	var f *ServeFaults
+	if f.Enabled() {
+		t.Fatal("nil plan reports enabled")
+	}
+	zero := &ServeFaults{}
+	for i := uint64(0); i < 100; i++ {
+		if got := zero.Roll(i); got != ServeNone {
+			t.Fatalf("zero-value plan rolled %v at %d", got, i)
+		}
+	}
+}
+
+// TestServeFaultsCorruptUndecodable pins the property the serve layer
+// relies on: a corrupted body must never decode as valid JSON, for any
+// request index, or a "malformed" request could silently admit.
+func TestServeFaultsCorruptUndecodable(t *testing.T) {
+	f := &ServeFaults{MalformedProb: 1, Seed: 11}
+	bodies := [][]byte{
+		[]byte(`{"scenario":{"preset":"wan","mean_bad":"4s"},"replications":3}`),
+		[]byte(`{"campaign":{"sweeps":["fig7"]}}`),
+		[]byte(`{}`),
+		[]byte(`{"a":1}`),
+		[]byte(`x`),
+		nil,
+	}
+	for _, body := range bodies {
+		for i := uint64(0); i < 64; i++ {
+			bad := f.Corrupt(body, i)
+			var v any
+			if json.Unmarshal(bad, &v) == nil {
+				t.Fatalf("Corrupt(%q, %d) = %q decodes as valid JSON", body, i, bad)
+			}
+			if len(body) >= 2 && len(bad) >= len(body) {
+				t.Fatalf("Corrupt(%q, %d) = %q is not a strict prefix", body, i, bad)
+			}
+		}
+	}
+}
+
+func TestServeFaultsValidate(t *testing.T) {
+	bad := []ServeFaults{
+		{MalformedProb: -0.1},
+		{MalformedProb: 1.1},
+		{MalformedProb: 0.6, DisconnectProb: 0.6},
+		{SlowProb: 0.5},
+		{SlowProb: 0.5, SlowMs: -1},
+	}
+	for _, f := range bad {
+		f := f
+		if err := f.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid plan", f)
+		}
+	}
+	if _, err := ParseServe([]byte(`{"malformed_prob":0.2,"typo":1}`)); err == nil {
+		t.Error("ParseServe accepted an unknown field")
+	}
+	if p, err := ParseServe([]byte(`{"malformed_prob":0.2,"seed":4}`)); err != nil || !p.Enabled() {
+		t.Errorf("ParseServe rejected a valid plan: %v", err)
+	}
+}

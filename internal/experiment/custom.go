@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"context"
+
+	"wtcp/internal/core"
+)
+
+// This file is the engine's service face: the hooks wtcpd
+// (internal/serve) uses to execute arbitrary scenario requests with the
+// full engine policy stack — worker pool, retry/backoff schedule,
+// failure classification, repro-bundle capture, health telemetry — and
+// to record the outcomes in ordinary checkpoint files that double as
+// the server's content-addressed result store.
+
+// RunCustom executes one caller-defined point: Replications runs of the
+// configurations built by build, samples extracted by extract, under
+// exactly the sequential engine's policies (same retry seeds and
+// backoff schedule, same classification, same supervision semantics as
+// a sweep point). build receives the 1-based replication index as its
+// seed argument, like the figure-sweep builders. The outcome mirrors
+// RunPointSpec: seed-ordered records on success, a Quarantine when
+// opt.Supervise is armed and the point's breaker trips, or an error
+// for fail-fast classes and cancellation.
+func RunCustom(ctx context.Context, opt Options, key string,
+	build func(seed int64) core.Config, extract func(*core.Result) []float64) ([]RepRecord, *Quarantine, error) {
+	opt = opt.withDefaults()
+	return executePoint(ctx, opt, key, build, extract)
+}
+
+// OpenLedgerAt opens (or creates) a ledger at path under an explicit
+// fingerprint instead of one derived from sweep Options. wtcpd's run
+// store uses this: its keys are content hashes of whole requests, so
+// the result-affecting configuration is inside every key and the file
+// fingerprint only has to version the store's own schema.
+func OpenLedgerAt(path, fingerprint string) (*Ledger, error) {
+	ck, err := openCheckpoint(path, fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	return &Ledger{ck: ck}, nil
+}
+
+// Fingerprint exposes the result-affecting options digest that keys
+// checkpoint compatibility (see Options.fingerprint). wtcpd names its
+// per-campaign-class sweep ledgers by a hash of this string so
+// overlapping sweep requests land in — and warm-start from — the same
+// file.
+func Fingerprint(opt Options) string {
+	return opt.withDefaults().fingerprint()
+}

@@ -300,11 +300,10 @@ func (h *Health) WriteStatus() error {
 	if path == "" {
 		return nil
 	}
-	data, err := json.MarshalIndent(h.Snapshot(), "", "  ")
+	data, err := h.SnapshotJSON()
 	if err != nil {
-		return fmt.Errorf("experiment: encode status: %w", err)
+		return err
 	}
-	data = append(data, '\n')
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("experiment: status dir: %w", err)
@@ -327,6 +326,53 @@ func (h *Health) WriteStatus() error {
 		return fmt.Errorf("experiment: commit status: %w", err)
 	}
 	return nil
+}
+
+// Heartbeat wires up the standard CLI heartbeat in one call: status
+// snapshots persist to statusPath (throttled on state changes, plus a
+// final write at stop), and SIGUSR1 dumps the human-readable snapshot
+// to sigDump. Every run-capable entry point (wtcp-sim, wtcp-figures,
+// wtcp-report, wtcpd) goes through here so the status-file schema and
+// signal behaviour cannot drift between them. The returned stop is
+// idempotent.
+func (h *Health) Heartbeat(statusPath string, sigDump io.Writer) (stop func()) {
+	if h == nil {
+		return func() {}
+	}
+	h.SetStatusPath(statusPath)
+	stopSig := h.NotifyOnSignal(sigDump)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			stopSig()
+			if err := h.WriteStatus(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiment: write status: %v\n", err)
+			}
+		})
+	}
+}
+
+// SnapshotJSON renders the current snapshot in the status-file schema
+// (trailing newline included) — the same bytes WriteStatus persists.
+// wtcpd serves this from /healthz.
+func (h *Health) SnapshotJSON() ([]byte, error) {
+	data, err := json.MarshalIndent(h.Snapshot(), "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("experiment: encode status: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// MedianRunSeconds returns the median wall-clock duration of completed
+// runs, 0 until enough have finished. wtcpd's admission controller
+// derives Retry-After hints from it.
+func (h *Health) MedianRunSeconds() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return medianOf(h.durations)
 }
 
 // StartPolling rewrites the status file every interval until the

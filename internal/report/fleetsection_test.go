@@ -19,4 +19,7 @@ func TestFleetSectionMirroredInReplicationDoc(t *testing.T) {
 	if !strings.Contains(string(data), fleetSection) {
 		t.Error("REPLICATION.md does not contain the generator's fleet section verbatim; regenerate with `make report` or update both")
 	}
+	if !strings.Contains(string(data), serveSection) {
+		t.Error("REPLICATION.md does not contain the generator's service section verbatim; regenerate with `make report` or update both")
+	}
 }

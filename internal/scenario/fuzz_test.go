@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzScenario throws arbitrary bytes at the scenario parser. The
+// contract under fuzzing: Parse never panics, and any scenario it
+// accepts is fully runnable (the returned config passes validation,
+// which Build already enforces — so acceptance with a broken config is
+// a bug, not a user error). wtcpd's /v1/run fuzzer builds on the same
+// corpus (see internal/serve).
+func FuzzScenario(f *testing.F) {
+	for _, s := range FuzzSeeds() {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := Parse(data)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Errorf("Parse accepted a config that fails validation: %v\ninput: %s", verr, data)
+		}
+	})
+}
+
+// TestFuzzSeedsClassify pins the fuzz seed corpus' accept/reject split
+// so a parser regression shows up as a plain test failure even when the
+// fuzzer is not run.
+func TestFuzzSeedsClassify(t *testing.T) {
+	accept := []string{
+		`{}`,
+		`{"preset":"wan","scheme":"ebsn","packet_size_bytes":1536,"mean_bad":"4s","transfer_kb":100,"seed":7}`,
+		`{"scheme":"ebsn","checks":true,"chaos":{"crashes":[{"at":"20s","downtime":"2s"}]}}`,
+		`{"chaos":null}`,
+	}
+	reject := []string{
+		`{"packet_size_bytes":10}`,
+		`{"chaos":{"blackouts":[{"link":"nope","at":"1s","length":"1s"}]}}`,
+		`{"bogus":1}`,
+		`{`,
+	}
+	for _, s := range accept {
+		if _, err := Parse([]byte(s)); err != nil {
+			t.Errorf("valid scenario rejected: %v\ninput: %s", err, s)
+		}
+	}
+	for _, s := range reject {
+		if _, err := Parse([]byte(s)); err == nil {
+			t.Errorf("invalid scenario accepted: %s", s)
+		} else if strings.Contains(err.Error(), "panic") {
+			t.Errorf("error leaks a panic: %v", err)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package scenario
 
 import (
 	"bytes"
@@ -10,14 +10,13 @@ import (
 	"wtcp/internal/bs"
 	"wtcp/internal/chaos"
 	"wtcp/internal/core"
-	"wtcp/internal/scenario"
 	"wtcp/internal/tcp"
 	"wtcp/internal/units"
 )
 
-// scenarioFile is the JSON scenario format accepted by -config. Durations
-// are human-readable strings ("4s", "800ms"); omitted fields keep the
-// preset's value. Example:
+// File is the JSON scenario format accepted by wtcp-sim's -config and
+// wtcpd's /v1/run requests. Durations are human-readable strings ("4s",
+// "800ms"); omitted fields keep the preset's value. Example:
 //
 //	{
 //	  "preset": "wan",
@@ -35,70 +34,82 @@ import (
 //	    "notify":    {"loss_prob": 0.5}
 //	  }
 //	}
-type scenarioFile struct {
-	Preset          string  `json:"preset"` // "wan" (default) or "lan"
-	Scheme          string  `json:"scheme"`
-	PacketSizeBytes int     `json:"packet_size_bytes"`
-	TransferKB      int64   `json:"transfer_kb"`
-	WindowKB        int     `json:"window_kb"`
-	MTUBytes        int     `json:"mtu_bytes"` // wireless fragmentation threshold (-1 disables)
-	WiredKbps       float64 `json:"wired_kbps"`
-	WirelessKbps    float64 `json:"wireless_kbps"`
-	MeanGood        string  `json:"mean_good"`
-	MeanBad         string  `json:"mean_bad"`
-	Deterministic   bool    `json:"deterministic"`
-	Variant         string  `json:"variant"` // tahoe (default), reno, newreno
-	DelayedAcks     bool    `json:"delayed_acks"`
-	SACK            bool    `json:"sack"`
-	ECN             bool    `json:"ecn"`
-	NotifyEvery     int     `json:"notify_every"`
-	CrossTrafficPct int     `json:"cross_traffic_pct"` // % of wired capacity
-	Seed            int64   `json:"seed"`
-	CollectTrace    bool    `json:"collect_trace"`
-	Horizon         string  `json:"horizon"` // virtual-time cap ("10m")
+type File struct {
+	Preset          string  `json:"preset,omitempty"` // "wan" (default) or "lan"
+	Scheme          string  `json:"scheme,omitempty"`
+	PacketSizeBytes int     `json:"packet_size_bytes,omitempty"`
+	TransferKB      int64   `json:"transfer_kb,omitempty"`
+	WindowKB        int     `json:"window_kb,omitempty"`
+	MTUBytes        int     `json:"mtu_bytes,omitempty"` // wireless fragmentation threshold (-1 disables)
+	WiredKbps       float64 `json:"wired_kbps,omitempty"`
+	WirelessKbps    float64 `json:"wireless_kbps,omitempty"`
+	MeanGood        string  `json:"mean_good,omitempty"`
+	MeanBad         string  `json:"mean_bad,omitempty"`
+	Deterministic   bool    `json:"deterministic,omitempty"`
+	Variant         string  `json:"variant,omitempty"` // tahoe (default), reno, newreno
+	DelayedAcks     bool    `json:"delayed_acks,omitempty"`
+	SACK            bool    `json:"sack,omitempty"`
+	ECN             bool    `json:"ecn,omitempty"`
+	NotifyEvery     int     `json:"notify_every,omitempty"`
+	CrossTrafficPct int     `json:"cross_traffic_pct,omitempty"` // % of wired capacity
+	Seed            int64   `json:"seed,omitempty"`
+	CollectTrace    bool    `json:"collect_trace,omitempty"`
+	Horizon         string  `json:"horizon,omitempty"` // virtual-time cap ("10m")
 
 	// Robustness knobs: Chaos holds an inline fault-injection plan (see
 	// internal/chaos for the schema), Checks enables runtime invariant
 	// checking, and Stall tunes the no-progress watchdog window ("5m";
 	// "off" disables it). Budget bounds the run's resource consumption
-	// (schema shared with fleet campaign manifests — internal/scenario);
-	// exhausting any ceiling halts the run with a budget error.
-	Chaos  json.RawMessage  `json:"chaos"`
-	Checks bool             `json:"checks"`
-	Stall  string           `json:"stall"`
-	Budget *scenario.Budget `json:"budget"`
+	// (schema shared with fleet campaign manifests); exhausting any
+	// ceiling halts the run with a budget error.
+	Chaos  json.RawMessage `json:"chaos,omitempty"`
+	Checks bool            `json:"checks,omitempty"`
+	Stall  string          `json:"stall,omitempty"`
+	Budget *Budget         `json:"budget,omitempty"`
 }
 
-// loadScenario reads and validates a JSON scenario into a runnable
+// Load reads and validates a JSON scenario file into a runnable
 // configuration.
-func loadScenario(path string) (core.Config, error) {
+func Load(path string) (core.Config, error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return core.Config{}, fmt.Errorf("read scenario: %w", err)
 	}
-	cfg, err := parseScenario(raw)
+	cfg, err := Parse(raw)
 	if err != nil {
 		return core.Config{}, fmt.Errorf("scenario %s: %w", path, err)
 	}
 	return cfg, nil
 }
 
-// parseScenario decodes and validates scenario JSON. Unknown fields are
+// Parse decodes and validates scenario JSON. Unknown fields are
 // rejected so a typoed knob fails loudly instead of being ignored.
-func parseScenario(raw []byte) (core.Config, error) {
-	var sf scenarioFile
+func Parse(raw []byte) (core.Config, error) {
+	sf, err := ParseFile(raw)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return sf.Build()
+}
+
+// ParseFile decodes scenario JSON into its file form without building
+// the configuration. Callers that need the declarative shape — wtcpd's
+// request fingerprinting canonicalizes a File with its budget cleared —
+// follow up with Build, which performs full validation.
+func ParseFile(raw []byte) (File, error) {
+	var sf File
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&sf); err != nil {
-		return core.Config{}, fmt.Errorf("parse: %w", err)
+		return File{}, fmt.Errorf("parse: %w", err)
 	}
-	return sf.build()
+	return sf, nil
 }
 
 // validate rejects malformed or contradictory field values before they
 // turn into a half-built configuration, with messages that say how to fix
 // the field.
-func (sf scenarioFile) validate() error {
+func (sf File) validate() error {
 	switch {
 	case sf.PacketSizeBytes < 0:
 		return fmt.Errorf("packet_size_bytes %d is negative; give the full wired packet size in bytes (header included, e.g. 576)", sf.PacketSizeBytes)
@@ -122,14 +133,8 @@ func (sf scenarioFile) validate() error {
 	return nil
 }
 
-// parsePositiveDur parses an optional duration field that must be
-// positive when present (shared plumbing: internal/scenario).
-func parsePositiveDur(field, v string) (time.Duration, error) {
-	return scenario.ParsePositiveDur(field, v)
-}
-
-// build converts the file into a core.Config.
-func (sf scenarioFile) build() (core.Config, error) {
+// Build converts the file into a core.Config.
+func (sf File) Build() (core.Config, error) {
 	if err := sf.validate(); err != nil {
 		return core.Config{}, err
 	}
@@ -142,7 +147,7 @@ func (sf scenarioFile) build() (core.Config, error) {
 		scheme = s
 	}
 	meanBad := 2 * time.Second
-	if d, err := parsePositiveDur("mean_bad", sf.MeanBad); err != nil {
+	if d, err := ParsePositiveDur("mean_bad", sf.MeanBad); err != nil {
 		return core.Config{}, err
 	} else if d > 0 {
 		meanBad = d
@@ -165,7 +170,7 @@ func (sf scenarioFile) build() (core.Config, error) {
 		return core.Config{}, fmt.Errorf("unknown preset %q (want wan or lan)", sf.Preset)
 	}
 
-	if d, err := parsePositiveDur("mean_good", sf.MeanGood); err != nil {
+	if d, err := ParsePositiveDur("mean_good", sf.MeanGood); err != nil {
 		return core.Config{}, err
 	} else if d > 0 {
 		cfg.Channel.MeanGood = d
@@ -212,7 +217,7 @@ func (sf scenarioFile) build() (core.Config, error) {
 		cfg.Seed = sf.Seed
 	}
 	cfg.CollectTrace = sf.CollectTrace
-	if d, err := parsePositiveDur("horizon", sf.Horizon); err != nil {
+	if d, err := ParsePositiveDur("horizon", sf.Horizon); err != nil {
 		return core.Config{}, err
 	} else if d > 0 {
 		cfg.Horizon = d
@@ -241,7 +246,7 @@ func (sf scenarioFile) build() (core.Config, error) {
 	case "off":
 		cfg.Stall = -1
 	default:
-		d, err := parsePositiveDur("stall", sf.Stall)
+		d, err := ParsePositiveDur("stall", sf.Stall)
 		if err != nil {
 			return core.Config{}, err
 		}

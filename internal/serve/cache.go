@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// diskCache is the content-addressed result store: one file per
+// fingerprint holding the exact response bytes a fresh computation
+// produced, bounded by a total byte cap with least-recently-used
+// eviction. Entries are immutable once written (the address is a hash
+// of everything that determines the content), so a hit can be served
+// verbatim — byte-identical to the fresh run — and eviction is purely
+// a capacity decision, never a correctness one.
+type diskCache struct {
+	mu    sync.Mutex
+	dir   string
+	cap   int64
+	size  int64
+	sizes map[string]int64
+	// order is LRU: front oldest, back most recently used.
+	order     []string
+	evictions uint64
+}
+
+// openDiskCache loads (or creates) the cache directory. Surviving
+// entries are re-indexed with their on-disk modification order as the
+// initial LRU order, so a restarted server keeps its warm set.
+func openDiskCache(dir string, capBytes int64) (*diskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: cache dir: %w", err)
+	}
+	c := &diskCache{dir: dir, cap: capBytes, sizes: map[string]int64{}}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: cache dir: %w", err)
+	}
+	type onDisk struct {
+		fp    string
+		size  int64
+		mtime int64
+	}
+	var found []onDisk
+	for _, e := range entries {
+		if e.IsDir() || !validFingerprint(e.Name()) {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, onDisk{e.Name(), info.Size(), info.ModTime().UnixNano()})
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].mtime < found[j].mtime })
+	for _, f := range found {
+		c.sizes[f.fp] = f.size
+		c.size += f.size
+		c.order = append(c.order, f.fp)
+	}
+	c.evictLocked()
+	return c, nil
+}
+
+// get returns the cached response bytes for fp and marks it recently
+// used.
+func (c *diskCache) get(fp string) ([]byte, bool) {
+	c.mu.Lock()
+	_, ok := c.sizes[fp]
+	if ok {
+		c.touchLocked(fp)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(c.dir, fp))
+	if err != nil {
+		// Entry vanished underneath us (manual cleanup); drop the index.
+		c.mu.Lock()
+		c.dropLocked(fp)
+		c.mu.Unlock()
+		return nil, false
+	}
+	return data, true
+}
+
+// put stores the response bytes for fp (atomic write-rename), evicting
+// least-recently-used entries until the cap holds. A blob bigger than
+// the whole cap is not stored: the response is still delivered, it
+// just isn't worth the entire cache. First write wins; identical
+// content makes overwrites a no-op anyway.
+func (c *diskCache) put(fp string, data []byte) error {
+	if c.cap > 0 && int64(len(data)) > c.cap {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.sizes[fp]; ok {
+		return nil
+	}
+	path := filepath.Join(c.dir, fp)
+	tmp, err := os.CreateTemp(c.dir, fp+".tmp*")
+	if err != nil {
+		return fmt.Errorf("serve: cache temp: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: cache close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: cache commit: %w", err)
+	}
+	c.sizes[fp] = int64(len(data))
+	c.size += int64(len(data))
+	c.order = append(c.order, fp)
+	c.evictLocked()
+	return nil
+}
+
+// touchLocked moves fp to the most-recently-used end.
+func (c *diskCache) touchLocked(fp string) {
+	for i, k := range c.order {
+		if k == fp {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), fp)
+			return
+		}
+	}
+}
+
+// dropLocked removes fp from the index (file already gone or being
+// evicted).
+func (c *diskCache) dropLocked(fp string) {
+	if sz, ok := c.sizes[fp]; ok {
+		c.size -= sz
+		delete(c.sizes, fp)
+	}
+	for i, k := range c.order {
+		if k == fp {
+			c.order = append(c.order[:i:i], c.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictLocked removes oldest entries until the byte cap holds.
+func (c *diskCache) evictLocked() {
+	if c.cap <= 0 {
+		return
+	}
+	for c.size > c.cap && len(c.order) > 0 {
+		victim := c.order[0]
+		os.Remove(filepath.Join(c.dir, victim))
+		c.dropLocked(victim)
+		c.evictions++
+	}
+}
+
+// stats reports entry count, resident bytes, and lifetime evictions.
+func (c *diskCache) stats() (entries int, bytes int64, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sizes), c.size, c.evictions
+}

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// Fingerprint identity: what must split the cache and what must not.
+
+func TestRunFingerprintIdentity(t *testing.T) {
+	fp := func(body string) string {
+		t.Helper()
+		return mustRunFP(t, []byte(body))
+	}
+	base := fp(`{"scenario":{"preset":"wan","mean_bad":"4s","seed":1}}`)
+
+	// Formatting, key order, and default spelling never split the cache.
+	same := []string{
+		`{ "scenario" : {"preset":"wan", "mean_bad":"4s", "seed":1} }`,
+		`{"scenario":{"mean_bad":"4s","seed":1,"preset":"wan"}}`,
+		`{"scenario":{"preset":"wan","mean_bad":"4s","seed":1},"replications":1}`,
+	}
+	for _, body := range same {
+		if got := fp(body); got != base {
+			t.Errorf("fingerprint split by formatting: %s", body)
+		}
+	}
+
+	// Budgets and deadlines bound how long we compute, not what a
+	// within-budget run measures: excluded from identity.
+	excluded := []string{
+		`{"scenario":{"preset":"wan","mean_bad":"4s","seed":1,"budget":{"max_events":999999999}}}`,
+		`{"scenario":{"preset":"wan","mean_bad":"4s","seed":1},"deadline_ms":5000}`,
+	}
+	for _, body := range excluded {
+		if got := fp(body); got != base {
+			t.Errorf("execution knob leaked into identity: %s", body)
+		}
+	}
+
+	// Seeds and every result-affecting field are included.
+	distinct := []string{
+		`{"scenario":{"preset":"wan","mean_bad":"4s","seed":2}}`,
+		`{"scenario":{"preset":"wan","mean_bad":"2s","seed":1}}`,
+		`{"scenario":{"preset":"wan","mean_bad":"4s","seed":1,"sack":true}}`,
+		`{"scenario":{"preset":"wan","mean_bad":"4s","seed":1},"replications":2}`,
+		`{"scenario":{"preset":"wan","mean_bad":"4s","seed":1,"chaos":{"notify":{"loss_prob":0.5}}}}`,
+	}
+	seen := map[string]string{base: "base"}
+	for _, body := range distinct {
+		got := fp(body)
+		if prev, dup := seen[got]; dup {
+			t.Errorf("fingerprint collision between %s and %s", prev, body)
+		}
+		seen[got] = body
+	}
+}
+
+func TestSweepFingerprintIdentity(t *testing.T) {
+	fp := func(body string) string {
+		t.Helper()
+		_, c, err := ParseSweepRequest([]byte(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return SweepFingerprint(c)
+	}
+	base := fp(`{"campaign":{"sweeps":["fig7"],"replications":2,"bad_periods":["4s"]}}`)
+	// Worker width and budget are pure execution knobs.
+	if got := fp(`{"campaign":{"sweeps":["fig7"],"replications":2,"bad_periods":["4s"],"workers":8,"budget":{"wall_clock":"5m"}}}`); got != base {
+		t.Error("workers/budget leaked into sweep identity")
+	}
+	// Supervise changes the response shape (quarantines vs failure).
+	if got := fp(`{"campaign":{"sweeps":["fig7"],"replications":2,"bad_periods":["4s"],"supervise":true}}`); got == base {
+		t.Error("supervise does not split sweep identity but changes the answer")
+	}
+	if got := fp(`{"campaign":{"sweeps":["fig7"],"replications":3,"bad_periods":["4s"]}}`); got == base {
+		t.Error("replications does not split sweep identity")
+	}
+}
+
+// Disk cache mechanics: byte-cap eviction, LRU order, reopen.
+
+func TestDiskCacheEvictsUnderByteCap(t *testing.T) {
+	fp := func(i int) string { return fmt.Sprintf("%064d", i) }
+	blob := bytes.Repeat([]byte("x"), 100)
+
+	c, err := openDiskCache(t.TempDir(), 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.put(fp(i), blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 300 bytes over a 250 cap: the oldest entry evicts.
+	if _, ok := c.get(fp(0)); ok {
+		t.Error("oldest entry survived the byte cap")
+	}
+	for i := 1; i < 3; i++ {
+		if _, ok := c.get(fp(i)); !ok {
+			t.Errorf("entry %d evicted prematurely", i)
+		}
+	}
+	entries, size, evictions := c.stats()
+	if entries != 2 || size != 200 || evictions != 1 {
+		t.Errorf("stats = (%d, %d, %d), want (2, 200, 1)", entries, size, evictions)
+	}
+
+	// A get refreshes recency: touch 1, insert 3, expect 2 to evict.
+	c.get(fp(1))
+	if err := c.put(fp(3), blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.get(fp(2)); ok {
+		t.Error("LRU order ignores gets: 2 should have evicted before 1")
+	}
+	if _, ok := c.get(fp(1)); !ok {
+		t.Error("recently read entry evicted")
+	}
+
+	// A blob larger than the whole cap is refused outright, not allowed
+	// to flush everything else.
+	if err := c.put(fp(9), bytes.Repeat([]byte("y"), 300)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.get(fp(9)); ok {
+		t.Error("over-cap blob was cached")
+	}
+	if _, ok := c.get(fp(1)); !ok {
+		t.Error("over-cap blob evicted resident entries")
+	}
+}
+
+func TestDiskCacheSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	fp := func(i int) string { return fmt.Sprintf("%064d", i) }
+	c, err := openDiskCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.put(fp(i), []byte(fmt.Sprintf("blob-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	re, err := openDiskCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		data, ok := re.get(fp(i))
+		if !ok || string(data) != fmt.Sprintf("blob-%d", i) {
+			t.Errorf("entry %d lost across reopen", i)
+		}
+	}
+	entries, size, _ := re.stats()
+	if entries != 3 || size == 0 {
+		t.Errorf("reopen re-indexed (%d, %d)", entries, size)
+	}
+}
+
+// Single-flight: concurrent identical requests coalesce into one
+// execution; everyone gets the same bytes. Run under -race in CI.
+func TestSingleFlightDeduplicatesConcurrentRequests(t *testing.T) {
+	srv := newTestServer(t, t.TempDir(), func(cfg *Config) {
+		cfg.Slots = 4
+		cfg.QueueDepth = 8
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := runBody(1, 2000)
+	const clients = 12
+	responses := make([][]byte, clients)
+	statuses := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, data := post(t, ts, "/v1/run", body)
+			statuses[i] = resp.StatusCode
+			responses[i] = data
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("client %d: HTTP %d: %s", i, statuses[i], responses[i])
+		}
+		if !bytes.Equal(responses[i], responses[0]) {
+			t.Errorf("client %d got different bytes", i)
+		}
+	}
+	if got := srv.met.executed.Load(); got != 1 {
+		t.Errorf("%d identical concurrent requests executed %d times, want 1", clients, got)
+	}
+	if got := srv.met.requests.Load(); got != clients {
+		t.Errorf("requests counter = %d, want %d", got, clients)
+	}
+}

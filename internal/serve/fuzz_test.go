@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"wtcp/internal/scenario"
+)
+
+// FuzzRunRequest fuzzes the /v1/run decoder end to end: whatever the
+// bytes, ParseRunRequest must never panic, and when it accepts, the
+// request must be well-formed (buildable scenario, bounded
+// replications) and its fingerprint stable — the properties the
+// admission path relies on. The seed corpus wraps the scenario
+// parser's shared seeds (internal/scenario.FuzzSeeds) in request
+// envelopes, plus envelope-level malformations, so both decode layers
+// are exercised on the same documents.
+func FuzzRunRequest(f *testing.F) {
+	for _, s := range scenario.FuzzSeeds() {
+		f.Add([]byte(fmt.Sprintf(`{"scenario":%s}`, s)))
+		f.Add([]byte(fmt.Sprintf(`{"scenario":%s,"replications":3,"deadline_ms":500}`, s)))
+	}
+	f.Add([]byte(`{"scenario":{"preset":"wan"},"replications":65}`))
+	f.Add([]byte(`{"scenario":{"preset":"wan"},"replications":-1}`))
+	f.Add([]byte(`{"scenario":{"preset":"wan"},"deadline_ms":-1}`))
+	f.Add([]byte(`{"scenario":{"preset":"wan"}} trailing`))
+	f.Add([]byte(`{"scenario":null}`))
+	f.Add([]byte(`{"campaign":{"sweeps":["fig7"]}}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, sf, err := ParseRunRequest(data)
+		if err != nil {
+			return // rejected is fine; panicking or half-accepting is not
+		}
+		if req.Replications < 1 || req.Replications > MaxReplications {
+			t.Fatalf("accepted replications %d outside [1, %d]", req.Replications, MaxReplications)
+		}
+		if req.DeadlineMS < 0 {
+			t.Fatalf("accepted negative deadline_ms %d", req.DeadlineMS)
+		}
+		if _, err := sf.Build(); err != nil {
+			t.Fatalf("accepted request whose scenario does not build: %v", err)
+		}
+		fp := RunFingerprint(sf, req.Replications)
+		if !validFingerprint(fp) {
+			t.Fatalf("fingerprint %q is not a sha256 hex digest", fp)
+		}
+		if again := RunFingerprint(sf, req.Replications); again != fp {
+			t.Fatalf("fingerprint unstable: %s vs %s", fp, again)
+		}
+	})
+}
