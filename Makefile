@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check conformance budget-smoke fleet-smoke serve-smoke goldens bench bench-baseline bench-compare bench-smoke figures traces report fuzz fuzz-smoke clean
+.PHONY: all build vet test test-race check conformance budget-smoke fleet-smoke serve-smoke scale-smoke goldens bench bench-baseline bench-compare bench-smoke bench-scale bench-scale-baseline figures traces report fuzz fuzz-smoke clean
 
 all: build vet test
 
 # Pre-PR gate: static analysis plus the full suite under the race
 # detector (the simulator is single-threaded by design; -race proves it),
-# plus the protocol-conformance, run-supervision, fleet, and service gates.
-check: vet test-race conformance budget-smoke fleet-smoke serve-smoke
+# plus the protocol-conformance, run-supervision, fleet, service, and
+# cell-scale gates.
+check: vet test-race conformance budget-smoke fleet-smoke serve-smoke scale-smoke
 
 # Supervision gate: a tiny sweep with one pathological (livelocking)
 # point under aggressive run budgets, with the worker pool and heartbeat
@@ -33,6 +34,14 @@ fleet-smoke:
 # single-flight dedup test.
 serve-smoke:
 	$(GO) test -race -run 'TestServeStormDrainResume|TestSingleFlightDeduplicatesConcurrentRequests' ./internal/serve/
+
+# Cell-scale gate: the 1k-flow SLO, the arena refcount property under
+# chaos loss/dup/reorder, and the old-vs-new differential pin, all under
+# -race; then the steady-state zero-alloc pins without it (the race
+# detector instruments allocation, making AllocsPerRun meaningless).
+scale-smoke:
+	$(GO) test -race -run 'TestCellSLO1k|TestArenaRefcountsUnderChaos|TestRunMatchesReferenceEngine' ./internal/cell/ ./internal/multiconn/
+	$(GO) test -run 'TestSteadyStateZeroAllocs' ./internal/cell/
 
 # Conformance gate: the oracle/trace/ARQ suites under -race, then the
 # golden-trace drift check against the committed canonical scenarios.
@@ -79,6 +88,20 @@ bench-compare: bench
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSim' -benchmem -benchtime=0.2s -count=3 . | tee bench-smoke.txt
 	$(GO) run ./cmd/wtcp-bench -compare BENCH_kernel.json -threshold 0.20 -in bench-smoke.txt
+
+# Cell-scale benchmarks: per-stage hot-path micro-benchmarks plus
+# end-to-end 1k/10k/50k cell runs, compared against the committed
+# BENCH_scale.json (its stored filter selects ^BenchmarkCell; >35%
+# ns/op slowdown or any allocs/op increase fails — the e2e runs are
+# noisier than the kernel micro-benchmarks, hence the looser threshold).
+bench-scale:
+	$(GO) test -run '^$$' -bench '^BenchmarkCell' -benchmem -benchtime=0.5s ./internal/cell/ | tee bench-scale.txt
+	$(GO) run ./cmd/wtcp-bench -file BENCH_scale.json -threshold 0.35 -in bench-scale.txt
+
+# Re-record the committed cell-scale baseline. Run on a quiet machine.
+bench-scale-baseline:
+	$(GO) test -run '^$$' -bench '^BenchmarkCell' -benchmem -benchtime=0.5s ./internal/cell/ | tee bench-scale.txt
+	$(GO) run ./cmd/wtcp-bench -record -file BENCH_scale.json -filter '^BenchmarkCell' -note 'cell-scale engine baseline; regenerate with `make bench-scale-baseline`' -in bench-scale.txt
 
 # Regenerate every paper figure at publication fidelity.
 figures:

@@ -15,10 +15,16 @@
 //	    baseline (allocation regressions on the kernel hot path are
 //	    bugs at any size, not just at 20%).
 //
-// By default the comparison considers only the substrate
-// micro-benchmarks (-filter "^BenchmarkSim"): end-to-end run benchmarks
-// mix protocol behaviour into the timing and are too noisy for a smoke
-// gate on shared CI runners. Pass -filter "" to compare everything.
+// The repository keeps multiple baselines — BENCH_kernel.json for the
+// kernel micro-benchmarks, BENCH_scale.json for the cell-scale engine —
+// and each baseline file stores its own comparison filter, so
+// `wtcp-bench -compare BENCH_scale.json` applies the right benchmark
+// subset without the caller repeating it. `-file F` names the baseline
+// for either mode (`-record -file F` writes it, `-file F` alone compares
+// against it); `-filter` overrides the stored filter, with "auto"
+// (the default) meaning "whatever the baseline stores", falling back to
+// "^BenchmarkSim" for legacy baselines without one. Pass -filter "" to
+// compare everything.
 package main
 
 import (
@@ -44,10 +50,14 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 }
 
-// Baseline is the file format of BENCH_kernel.json.
+// Baseline is the file format of BENCH_kernel.json / BENCH_scale.json.
 type Baseline struct {
 	// Note documents how to regenerate the file.
-	Note    string   `json:"note"`
+	Note string `json:"note"`
+	// Filter is the regexp of benchmarks this baseline gates; a compare
+	// run applies it unless the caller overrides -filter. Empty means
+	// the legacy default.
+	Filter  string   `json:"filter,omitempty"`
 	Results []Result `json:"results"`
 }
 
@@ -62,17 +72,26 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("wtcp-bench", flag.ContinueOnError)
 	var (
 		record    = fs.Bool("record", false, "record a baseline from benchmark output")
-		out       = fs.String("out", "BENCH_kernel.json", "baseline file to write (with -record)")
+		file      = fs.String("file", "", "baseline file for either mode (-record writes it, otherwise compares against it)")
+		out       = fs.String("out", "BENCH_kernel.json", "baseline file to write (with -record; -file wins when both are set)")
 		compare   = fs.String("compare", "", "baseline file to compare against")
 		in        = fs.String("in", "", "benchmark output file (default stdin)")
 		threshold = fs.Float64("threshold", 0.20, "allowed ns/op regression fraction (with -compare)")
-		filter    = fs.String("filter", "^BenchmarkSim", "regexp of benchmarks to compare; empty = all")
+		filter    = fs.String("filter", "auto", "regexp of benchmarks to compare; auto = the baseline's stored filter, empty = all")
+		note      = fs.String("note", "", "regeneration note to store in the baseline (with -record)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *file != "" {
+		if *record {
+			*out = *file
+		} else if *compare == "" {
+			*compare = *file
+		}
+	}
 	if *record == (*compare != "") {
-		return errors.New("exactly one of -record or -compare is required")
+		return errors.New("exactly one of -record or -compare (or -file) is required")
 	}
 
 	r := io.Reader(os.Stdin)
@@ -94,8 +113,14 @@ func run(args []string) error {
 
 	if *record {
 		b := Baseline{
-			Note:    "kernel benchmark baseline; regenerate with `make bench-baseline`",
+			Note:    *note,
 			Results: results,
+		}
+		if b.Note == "" {
+			b.Note = "kernel benchmark baseline; regenerate with `make bench-baseline`"
+		}
+		if *filter != "auto" {
+			b.Filter = *filter
 		}
 		data, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
@@ -108,34 +133,43 @@ func run(args []string) error {
 		return nil
 	}
 
-	base, err := loadBaseline(*compare)
+	baseline, base, err := loadBaseline(*compare)
 	if err != nil {
 		return err
 	}
+	// Resolve the effective filter: explicit flag > the baseline's stored
+	// filter > the legacy kernel default.
+	pattern := *filter
+	if pattern == "auto" {
+		pattern = baseline.Filter
+		if pattern == "" {
+			pattern = "^BenchmarkSim"
+		}
+	}
 	var re *regexp.Regexp
-	if *filter != "" {
-		re, err = regexp.Compile(*filter)
+	if pattern != "" {
+		re, err = regexp.Compile(pattern)
 		if err != nil {
-			return fmt.Errorf("bad -filter: %w", err)
+			return fmt.Errorf("bad filter %q: %w", pattern, err)
 		}
 	}
 	return compareResults(os.Stdout, base, results, re, *threshold)
 }
 
-func loadBaseline(path string) (map[string]Result, error) {
+func loadBaseline(path string) (Baseline, map[string]Result, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return Baseline{}, nil, err
 	}
 	var b Baseline
 	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return Baseline{}, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	m := make(map[string]Result, len(b.Results))
 	for _, r := range b.Results {
 		m[r.Name] = r
 	}
-	return m, nil
+	return b, m, nil
 }
 
 // benchLine matches `go test -bench -benchmem` output, e.g.

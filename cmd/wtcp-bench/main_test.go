@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"regexp"
 	"strings"
 	"testing"
@@ -73,6 +74,56 @@ func TestCompareFailsOnAllocIncrease(t *testing.T) {
 	if err == nil {
 		t.Fatal("allocs/op increase did not fail even within the ns/op threshold")
 	}
+}
+
+// TestRecordStoresFilterAndCompareUsesIt pins the multi-baseline
+// contract: a baseline recorded with an explicit -filter stores it, and
+// a later compare with the default "auto" filter applies the stored one
+// — so BENCH_scale.json gates ^BenchmarkCell while BENCH_kernel.json
+// keeps gating ^BenchmarkSim, with no flags repeated at compare time.
+func TestRecordStoresFilterAndCompareUsesIt(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/BENCH_test.json"
+	bench := "BenchmarkCellSend-8 1000 30.0 ns/op\t0 B/op\t0 allocs/op\n" +
+		"BenchmarkSimKernel-8 1000 80.0 ns/op\t0 B/op\t0 allocs/op\n"
+
+	in := dir + "/bench.txt"
+	if err := writeFile(in, bench); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-record", "-file", path, "-filter", "^BenchmarkCell",
+		"-note", "test baseline", "-in", in}); err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	b, m, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Filter != "^BenchmarkCell" || b.Note != "test baseline" {
+		t.Fatalf("stored baseline %+v", b)
+	}
+	if len(m) != 2 {
+		t.Fatalf("stored %d results, want 2", len(m))
+	}
+
+	// A fresh run where only the out-of-filter benchmark regressed must
+	// pass: the stored filter excludes it.
+	fresh := "BenchmarkCellSend-8 1000 31.0 ns/op\t0 B/op\t0 allocs/op\n" +
+		"BenchmarkSimKernel-8 1000 9999.0 ns/op\t0 B/op\t0 allocs/op\n"
+	if err := writeFile(in, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-file", path, "-in", in}); err != nil {
+		t.Fatalf("compare with stored filter: %v", err)
+	}
+	// An explicit -filter overrides the stored one and sees the regression.
+	if err := run([]string{"-file", path, "-filter", "^BenchmarkSim", "-in", in}); err == nil {
+		t.Fatal("explicit filter override missed the regression")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
 }
 
 func TestComparePassesWithinThreshold(t *testing.T) {

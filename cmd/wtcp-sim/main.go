@@ -57,6 +57,12 @@ func run(args []string) error {
 		maxHeap     = fs.Int64("max-heap", 0, "per-run heap ceiling in bytes (0 = none)")
 		noRunBudget = fs.Bool("no-run-budget", false, "disable the default per-run event and wall-clock ceilings")
 		statusPath  = fs.String("status", "", "write a health heartbeat JSON to this file while running (poll it, or send SIGUSR1 for a stderr dump)")
+
+		cellFlows   = fs.Int("cell", 0, "cell-scale mode: simulate this many concurrent flows on the flat engine (try 1000, 10000, 50000)")
+		cellPolicy  = fs.String("cell-policy", "roundrobin", "cell radio scheduling: fifo|roundrobin|csdp")
+		cellBad     = fs.Duration("cell-bad", 0, "cell mean bad-period length (0 = preset's 500ms)")
+		cellHorizon = fs.Duration("cell-horizon", 0, "cell virtual-time horizon (0 = preset's 60s)")
+		cellOracle  = fs.Int("cell-oracle", 0, "attach the conformance oracle to this many sampled flows")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +76,22 @@ func run(args []string) error {
 			fmt.Fprintln(os.Stderr, "wtcp-sim:", err)
 		}
 	}()
+	if *cellFlows < 0 {
+		return fmt.Errorf("-cell %d: flow count must be positive", *cellFlows)
+	}
+	if *cellFlows > 0 {
+		return runCellMode(cellOptions{
+			flows:   *cellFlows,
+			policy:  *cellPolicy,
+			bad:     *cellBad,
+			horizon: *cellHorizon,
+			oracle:  *cellOracle,
+			seed:    *seed,
+			jsonOut: *jsonOut,
+			budget: sim.Budget{MaxEvents: *maxEvents, MaxVirtual: *maxVTime,
+				WallClock: *runDeadline, MaxHeapBytes: *maxHeap},
+		})
+	}
 	scheme, err := bs.ParseScheme(*schemeName)
 	if err != nil {
 		return err

@@ -1,0 +1,88 @@
+package cell
+
+import (
+	"testing"
+	"time"
+
+	"wtcp/internal/sim"
+	"wtcp/internal/units"
+)
+
+// warmEngine builds an engine on a fresh kernel and steps it through its
+// start-up transient: slab growth (arena, calendar, kernel heap) is
+// amortized and must plateau, after which the steady state is
+// allocation-free. Returns the engine mid-run with plenty of events left.
+func warmEngine(tb testing.TB, cfg Config, warmupSteps int) *engine {
+	tb.Helper()
+	e, err := newEngine(cfg.withDefaults())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e.bind(sim.New())
+	e.begin()
+	for i := 0; i < warmupSteps; i++ {
+		ok, err := e.s.Step()
+		if err != nil {
+			tb.Fatalf("warmup step: %v", err)
+		}
+		if !ok {
+			tb.Fatal("run drained during warmup; grow the transfer")
+		}
+	}
+	return e
+}
+
+// steadyConfig is a mid-sized cell with transfers long enough that the
+// run stays in steady state for millions of events.
+func steadyConfig() Config {
+	cfg := Preset(256)
+	cfg.TransferSize = 4 * units.MB
+	cfg.Horizon = 4 * time.Hour
+	cfg.OracleSample = 0
+	return cfg
+}
+
+// TestSteadyStateZeroAllocs is the tentpole's allocation pin: once the
+// working set has plateaued, processing events — sends, ARQ cycles,
+// deliveries, acks, timer churn — allocates nothing. AllocsPerRun
+// demands an exact zero: a single per-packet or per-ack object shows up
+// as >= 1 and fails.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector instruments allocation")
+	}
+	e := warmEngine(t, steadyConfig(), 50000)
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 2000; i++ {
+			if ok, err := e.s.Step(); err != nil || !ok {
+				t.Fatalf("step: ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady state allocates: %.1f allocs per 2000 events", avg)
+	}
+}
+
+// TestSteadyStateZeroAllocsFIFO pins the same property for the FIFO
+// ring (its growable buffer must also plateau) and for a chaos run
+// (fault draws and duplicate deliveries are allocation-free too).
+func TestSteadyStateZeroAllocsFIFO(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector instruments allocation")
+	}
+	cfg := steadyConfig()
+	cfg.Policy = FIFO
+	cfg.Chaos = Chaos{DropP: 0.05, DupP: 0.05, ReorderP: 0.05}
+	e := warmEngine(t, cfg, 50000)
+	avg := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 2000; i++ {
+			if ok, err := e.s.Step(); err != nil || !ok {
+				t.Fatalf("step: ok=%v err=%v", ok, err)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("FIFO/chaos steady state allocates: %.1f allocs per 2000 events", avg)
+	}
+}

@@ -1,0 +1,167 @@
+package cell
+
+import (
+	"testing"
+	"time"
+
+	"wtcp/internal/errmodel"
+	"wtcp/internal/sim"
+	"wtcp/internal/units"
+)
+
+// Per-stage benchmarks isolate each hot-path segment of a flow's life —
+// admission, send, the stop-and-wait ARQ cycle, sink delivery, ack
+// processing — so a regression names the stage it hit instead of hiding
+// in an end-to-end number. Each drives the engine's handlers directly
+// with hand-restored state; all must report 0 allocs/op in steady state
+// (wtcp-bench -compare BENCH_scale.json fails on any allocs/op growth).
+
+// quietChannel never corrupts: per-stage benchmarks want deterministic
+// success paths so every iteration does identical work.
+func quietChannel() errmodel.Config {
+	return errmodel.Config{GoodBER: 0, BadBER: 0, MeanGood: time.Hour}
+}
+
+// benchEngine builds a bound engine without starting any flows.
+func benchEngine(tb testing.TB, cfg Config) *engine {
+	tb.Helper()
+	e, err := newEngine(cfg.withDefaults())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e.bind(sim.New())
+	return e
+}
+
+func benchConfig(flows int) Config {
+	cfg := Preset(flows)
+	cfg.Channel = quietChannel()
+	cfg.TransferSize = 64 * units.MB // never completes during a bench
+	cfg.OracleSample = 0
+	cfg.AdmitBatch = 0
+	return cfg
+}
+
+// BenchmarkCellAdmission measures startFlow: the initial cwnd-limited
+// send, timer arm, and wired-pipe fold. Engines are recycled off the
+// clock every F admissions.
+func BenchmarkCellAdmission(b *testing.B) {
+	const F = 8192
+	cfg := benchConfig(F)
+	b.ReportAllocs()
+	var e *engine
+	for i := 0; i < b.N; i++ {
+		if i%F == 0 {
+			b.StopTimer()
+			e = benchEngine(b, cfg)
+			b.StartTimer()
+		}
+		e.startFlow(int32(i % F))
+	}
+}
+
+// BenchmarkCellSend measures emit: arena claim, retransmit accounting,
+// Karn timing, wheel arm check, wired-pipe fold, calendar push. The
+// iteration is unwound (calendar pop + slot release) so state never
+// drifts.
+func BenchmarkCellSend(b *testing.B) {
+	e := benchEngine(b, benchConfig(256))
+	const f = int32(7)
+	e.started[f] = true
+	e.timing[f] = true // steady state: an earlier segment is being timed
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.emit(f, 0, e.mss)
+		ev := e.cal.pop()
+		e.arena.decref(ev.slot)
+		e.fwdBusy[f] = 0
+	}
+}
+
+// BenchmarkCellARQ measures one full stop-and-wait radio cycle on a
+// quiet channel: pick, transmit, link-ack success, hand-off to the
+// sink's delivery queue.
+func BenchmarkCellARQ(b *testing.B) {
+	e := benchEngine(b, benchConfig(256))
+	const f = int32(5)
+	station := e.bsOf(f)
+	slot := e.arena.alloc(f, 0, int32(e.mss))
+	e.qPush(f, slot)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.transmit(station, f)
+		e.cal.pop() // evRadioDone; handlers are invoked directly
+		e.radioDone(station)
+		dv := e.cal.pop() // evSinkDeliver (success is deterministic)
+		e.arena.decref(dv.slot)
+		// Re-queue a fresh packet; the sink's rcvNxt is untouched because
+		// the delivery event was dropped above.
+		s := e.arena.alloc(f, 0, int32(e.mss))
+		e.qPush(f, s)
+	}
+}
+
+// BenchmarkCellDelivery measures the sink side: in-order receive,
+// cumulative-ack emission, reverse-pipe fold.
+func BenchmarkCellDelivery(b *testing.B) {
+	e := benchEngine(b, benchConfig(256))
+	const f = int32(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := e.arena.alloc(f, e.rcvNxt[f], int32(e.mss))
+		e.sinkDeliver(f, slot)
+		if e.cal.len() > 0 {
+			e.cal.pop() // evAckArrive
+		}
+		e.revBusy[f] = 0
+	}
+}
+
+// BenchmarkCellAck measures the sender's ack path at full window: each
+// new cumulative ack slides the window one MSS and releases exactly one
+// fresh segment (congestion avoidance at the cwnd cap).
+func BenchmarkCellAck(b *testing.B) {
+	e := benchEngine(b, benchConfig(256))
+	const f = int32(9)
+	e.started[f] = true
+	e.total = 1 << 50                           // never completes within b.N acks
+	e.cwnd[f] = float64(e.adv) + float64(e.mss) // at cap: window() == adv
+	e.ssthresh[f] = float64(e.mss)              // stay in congestion avoidance
+	e.sndNxt[f] = e.adv
+	e.sndMax[f] = e.adv
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.senderOnAck(f, e.sndUna[f]+e.mss)
+		ev := e.cal.pop() // the one segment trySend released
+		e.arena.decref(ev.slot)
+		e.fwdBusy[f] = 0
+	}
+}
+
+// End-to-end scale benchmarks: whole Preset(n) runs, dominated by the
+// pump loop. ns/op here is the headline "simulate a cell" cost that
+// BENCH_scale.json pins.
+
+func benchmarkCellRun(b *testing.B, n int) {
+	if raceEnabled && n > 1000 {
+		b.Skip("large scale benchmarks run in non-race mode only")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Preset(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CompletedFlows < n*9/10 {
+			b.Fatalf("only %d/%d flows completed", res.CompletedFlows, n)
+		}
+	}
+}
+
+func BenchmarkCellRun1k(b *testing.B)  { benchmarkCellRun(b, 1000) }
+func BenchmarkCellRun10k(b *testing.B) { benchmarkCellRun(b, 10000) }
+func BenchmarkCellRun50k(b *testing.B) { benchmarkCellRun(b, 50000) }

@@ -1,0 +1,95 @@
+package cell
+
+// calEvent is one scheduled micro-event. The calendar carries every
+// one-shot occurrence the engine schedules — wired-pipe arrivals, radio
+// cycle completions, sink deliveries, ACK and EBSN arrivals, admission
+// batches — as a plain value in a monomorphic heap, instead of one
+// closure-bearing kernel event each. Calendar events never cancel, which
+// is what lets them live in a heap with no tombstone machinery; the
+// cancellable timers (RTO, CSDP poll) live on the wheel.
+type calEvent struct {
+	at   int64  // absolute virtual time, ns
+	seq  uint64 // schedule order; breaks same-instant ties FIFO
+	kind uint8
+	flow int32
+	bs   int32
+	slot int32 // arena slot (delivery kinds) or batch size (admission)
+	a    int64 // ackNo (ack arrivals) / spare
+}
+
+// Calendar event kinds.
+const (
+	evWiredArrive uint8 = iota + 1 // data segment reaches its BS queue
+	evRadioDone                    // stop-and-wait radio cycle completes
+	evSinkDeliver                  // data segment reaches the mobile sink
+	evAckArrive                    // TCP ack reaches the sender
+	evEBSNArrive                   // bad-state notification reaches the sender
+	evAdmit                        // admission batch: start the next flows
+)
+
+// calendar is a binary min-heap of calEvents ordered by (at, seq). Push
+// and pop are allocation-free once the backing slice has plateaued.
+type calendar struct {
+	h   []calEvent
+	seq uint64
+}
+
+func (c *calendar) len() int { return len(c.h) }
+
+// minAt reports the earliest scheduled time, or -1 when empty.
+func (c *calendar) minAt() int64 {
+	if len(c.h) == 0 {
+		return -1
+	}
+	return c.h[0].at
+}
+
+func (c *calendar) less(i, j int) bool {
+	a, b := &c.h[i], &c.h[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// push schedules e, stamping its FIFO sequence number.
+func (c *calendar) push(e calEvent) {
+	c.seq++
+	e.seq = c.seq
+	c.h = append(c.h, e)
+	i := len(c.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.less(i, parent) {
+			break
+		}
+		c.h[i], c.h[parent] = c.h[parent], c.h[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event. The calendar must not be
+// empty.
+func (c *calendar) pop() calEvent {
+	top := c.h[0]
+	n := len(c.h) - 1
+	c.h[0] = c.h[n]
+	c.h = c.h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && c.less(l, small) {
+			small = l
+		}
+		if r < n && c.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		c.h[i], c.h[small] = c.h[small], c.h[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,782 @@
+package cell
+
+import (
+	"time"
+
+	"wtcp/internal/errmodel"
+	"wtcp/internal/packet"
+	"wtcp/internal/sim"
+	"wtcp/internal/units"
+)
+
+// wheelTick and wheelBuckets size the timer wheel: the span (tick x
+// buckets, 81.92 s) must exceed the 64 s RTO ceiling, the longest timer
+// the engine ever arms.
+const (
+	wheelTick    = 10 * time.Millisecond
+	wheelBuckets = 8192
+)
+
+// csdpPollInterval is how often a fully-blocked CSDP base station
+// re-checks its channels (matches internal/multiconn).
+const csdpPollInterval = 10 * time.Millisecond
+
+// pumpChunk bounds micro-events processed per kernel event, so budget
+// and context checks stay live through same-instant storms (a 50k-flow
+// admission wave is one instant).
+const pumpChunk = 8192
+
+// channelSlack is how far past the horizon the fading timelines are
+// pre-extended at setup, so the hot path never appends intervals. It
+// must exceed the longest span any single draw can be queried over
+// (bounded by the 64 s RTO ceiling).
+const channelSlack = 2 * time.Minute
+
+// engine is the flat cell state: every per-flow and per-base-station
+// quantity lives in a slice indexed by flow or base-station ID.
+type engine struct {
+	s   *sim.Simulator
+	cfg Config
+	F   int // flow count
+	B   int // base-station count
+
+	rng   *sim.RNG // corruption + link-ack + TCP-ack loss draws
+	pred  *sim.RNG // CSDP predictor error draws
+	chaos *sim.RNG // fault-injection draws (isolated split)
+
+	// chans holds one Markov channel per flow, or one per base station
+	// when SharedChannel is set.
+	chans []*errmodel.Markov
+
+	arena *arena
+	wheel *wheel
+	cal   calendar
+	pump  *sim.Timer
+
+	// Scalar protocol parameters.
+	mss   int64
+	total int64
+	adv   int64
+
+	granularity time.Duration
+	initialRTO  time.Duration
+	maxRTO      time.Duration
+
+	// Precomputed transmission times: the radio link-ack / TCP-ack
+	// (control size at wireless rate) and the wired reverse-pipe ack.
+	ackTxRadio time.Duration
+	revAckTx   time.Duration
+
+	// ---- per-flow sender state (struct of arrays) ----
+	sndUna, sndNxt, sndMax []int64
+	cwnd, ssthresh         []float64
+	dupacks                []int32
+	timing                 []bool
+	timedSeq               []int64
+	timedAtTick            []int32
+	srtt, rttvar           []float64
+	hasSample              []bool
+	shift                  []int8
+	started, done          []bool
+	finishAt               []time.Duration
+	fTimeouts              []uint64
+	fRetrans               []units.ByteSize
+
+	// ---- per-flow sink state ----
+	rcvNxt   []int64
+	oooSeq   []int64 // F x segCap slab
+	oooLen   []int32
+	oooCount []int32
+	segCap   int
+
+	// ---- per-flow wired pipes (collapsed to busy-until horizons) ----
+	fwdBusy, revBusy []time.Duration
+
+	// ---- per-flow base-station queue rings (arena slot indices) ----
+	qSlot         []int32 // F x qCap slab
+	qHead, qCount []int32
+	qCap          int
+
+	// tries is the flat ARQ table: the head packet's transmission count
+	// per flow (stop-and-wait; the head is retried until acked or
+	// discarded).
+	tries []int32
+	// unit numbers ARQ units per flow for the conformance sampler (slot
+	// indices recycle; unit IDs must not).
+	unit []uint64
+
+	// ---- per-base-station radio state ----
+	busy       []bool
+	curFlow    []int32
+	curSlot    []int32
+	curStart   []time.Duration
+	rr         []int32 // round-robin pointer, in local flow indices
+	nLocal     []int32 // flows hosted at this base station
+	attempts   []uint64
+	discards   []uint64
+	skippedBad []uint64
+	ebsnsSent  []uint64
+	// fifo preserves global packet-arrival order per base station (FIFO
+	// policy only).
+	fifo []fifoRing
+
+	doneCount int
+	admitted  int
+
+	events      uint64
+	queueDrops  uint64
+	chaosOn     bool
+	chaosDrops  uint64
+	chaosDups   uint64
+	chaosDelays uint64
+	oooOverflow uint64
+
+	oracle *sampler
+}
+
+// fifoRing is a growable ring of flow IDs.
+type fifoRing struct {
+	buf   []int32
+	head  int
+	count int
+}
+
+func (r *fifoRing) push(v int32) {
+	if r.count == len(r.buf) {
+		n := len(r.buf) * 2
+		if n < 16 {
+			n = 16
+		}
+		buf := make([]int32, n)
+		for i := 0; i < r.count; i++ {
+			buf[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf = buf
+		r.head = 0
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = v
+	r.count++
+}
+
+func (r *fifoRing) peek() int32 { return r.buf[r.head] }
+
+func (r *fifoRing) pop() {
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+}
+
+// newEngine allocates every slab for cfg (already defaulted) and seeds
+// the random state. The RNG split order is a compatibility contract with
+// internal/multiconn: root -> engine draws, predictor draws, one split
+// per channel in index order; the chaos split comes last so chaos-free
+// runs draw identically to the engine this one replaced.
+func newEngine(cfg Config) (*engine, error) {
+	F := cfg.Flows
+	B := cfg.BaseStations
+	e := &engine{
+		cfg: cfg,
+		F:   F,
+		B:   B,
+
+		mss:   int64(cfg.PacketSize - packet.HeaderSize),
+		total: int64(cfg.TransferSize),
+		adv:   int64(cfg.Window),
+
+		granularity: 100 * time.Millisecond, // tcp.DefaultGranularity
+		initialRTO:  3 * time.Second,        // tcp.DefaultInitialRTO
+		maxRTO:      64 * time.Second,       // tcp.DefaultMaxRTO
+
+		ackTxRadio: units.TransmissionTime(packet.ControlSize, cfg.WirelessRate),
+		revAckTx:   units.TransmissionTime(packet.ControlSize, cfg.WiredRate),
+
+		chaosOn: cfg.Chaos.enabled(),
+	}
+
+	root := sim.NewRNG(cfg.Seed)
+	e.rng = root.Split()
+	e.pred = root.Split()
+	nchan := F
+	if cfg.SharedChannel {
+		nchan = B
+	}
+	e.chans = make([]*errmodel.Markov, nchan)
+	for i := range e.chans {
+		ch, err := errmodel.NewMarkov(cfg.Channel, root.Split())
+		if err != nil {
+			return nil, err
+		}
+		// Pre-extend the fading timeline past every query the run can
+		// make, so steady-state queries never append (and never
+		// allocate). Timelines are a fixed draw sequence, so extending
+		// early is behaviour-neutral.
+		ch.StateAt(cfg.Horizon + channelSlack)
+		e.chans[i] = ch
+	}
+	e.chaos = root.Split()
+
+	// Sender slabs.
+	e.sndUna = make([]int64, F)
+	e.sndNxt = make([]int64, F)
+	e.sndMax = make([]int64, F)
+	e.cwnd = make([]float64, F)
+	e.ssthresh = make([]float64, F)
+	e.dupacks = make([]int32, F)
+	e.timing = make([]bool, F)
+	e.timedSeq = make([]int64, F)
+	e.timedAtTick = make([]int32, F)
+	e.srtt = make([]float64, F)
+	e.rttvar = make([]float64, F)
+	e.hasSample = make([]bool, F)
+	e.shift = make([]int8, F)
+	e.started = make([]bool, F)
+	e.done = make([]bool, F)
+	e.finishAt = make([]time.Duration, F)
+	e.fTimeouts = make([]uint64, F)
+	e.fRetrans = make([]units.ByteSize, F)
+	for f := 0; f < F; f++ {
+		e.cwnd[f] = float64(e.mss) // InitialCwnd = 1 segment
+		e.ssthresh[f] = float64(cfg.Window)
+	}
+
+	// Sink slabs. Senders emit on the MSS grid inside the advertised
+	// window, so at most window/mss+2 distinct out-of-order starts exist.
+	e.rcvNxt = make([]int64, F)
+	e.segCap = int(e.adv/e.mss) + 2
+	e.oooSeq = make([]int64, F*e.segCap)
+	e.oooLen = make([]int32, F*e.segCap)
+	e.oooCount = make([]int32, F)
+
+	e.fwdBusy = make([]time.Duration, F)
+	e.revBusy = make([]time.Duration, F)
+
+	e.qCap = cfg.PerFlowQueue
+	e.qSlot = make([]int32, F*e.qCap)
+	e.qHead = make([]int32, F)
+	e.qCount = make([]int32, F)
+	e.tries = make([]int32, F)
+	e.unit = make([]uint64, F)
+
+	// Base-station slabs.
+	e.busy = make([]bool, B)
+	e.curFlow = make([]int32, B)
+	e.curSlot = make([]int32, B)
+	e.curStart = make([]time.Duration, B)
+	e.rr = make([]int32, B)
+	e.nLocal = make([]int32, B)
+	e.attempts = make([]uint64, B)
+	e.discards = make([]uint64, B)
+	e.skippedBad = make([]uint64, B)
+	e.ebsnsSent = make([]uint64, B)
+	if cfg.Policy == FIFO {
+		e.fifo = make([]fifoRing, B)
+	}
+	for f := 0; f < F; f++ {
+		e.nLocal[f%B]++
+	}
+
+	e.arena = newArena(2 * F)
+	e.wheel = newWheel(int64(wheelTick), wheelBuckets, F+B)
+
+	if cfg.OracleSample > 0 {
+		e.oracle = newSampler(e, cfg.OracleSample)
+	}
+	return e, nil
+}
+
+// channelOf maps a flow to its fading channel.
+func (e *engine) channelOf(f int32) *errmodel.Markov {
+	if e.cfg.SharedChannel {
+		return e.chans[f%int32(e.B)]
+	}
+	return e.chans[f]
+}
+
+// bsOf maps a flow to its base station.
+func (e *engine) bsOf(f int32) int32 { return f % int32(e.B) }
+
+// ---- queue rings ----
+
+func (e *engine) qPush(f, slot int32) bool {
+	if int(e.qCount[f]) >= e.qCap {
+		return false
+	}
+	pos := int(f)*e.qCap + int((e.qHead[f]+e.qCount[f])%int32(e.qCap))
+	e.qSlot[pos] = slot
+	e.qCount[f]++
+	return true
+}
+
+func (e *engine) qHeadSlot(f int32) int32 {
+	return e.qSlot[int(f)*e.qCap+int(e.qHead[f])]
+}
+
+func (e *engine) qPop(f int32) int32 {
+	s := e.qHeadSlot(f)
+	e.qHead[f] = (e.qHead[f] + 1) % int32(e.qCap)
+	e.qCount[f]--
+	return s
+}
+
+// ---- run loop ----
+
+// bind attaches the engine to a kernel and pre-binds its pump timer.
+func (e *engine) bind(s *sim.Simulator) {
+	e.s = s
+	e.pump = sim.NewTimer(s, e.pumpFire)
+}
+
+// begin admits the initial flows and arms the pump.
+func (e *engine) begin() {
+	if e.cfg.AdmitBatch <= 0 {
+		for f := 0; f < e.F; f++ {
+			e.startFlow(int32(f))
+		}
+		e.admitted = e.F
+	} else {
+		e.admitBatch()
+	}
+	e.rearm()
+}
+
+// loop steps the kernel until every flow completes, the horizon passes,
+// or the kernel fails (budget, conformance violation).
+func (e *engine) loop() error {
+	s := e.s
+	horizon := e.cfg.Horizon
+	for e.doneCount < e.F && s.Now() < horizon {
+		ok, err := s.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+	}
+	return nil
+}
+
+// rearm sets the pump for the earliest pending micro-event, if any.
+func (e *engine) rearm() {
+	now := e.s.Now()
+	next := e.nextEventAt(int64(now))
+	if next >= 0 {
+		e.pump.Set(time.Duration(next) - now)
+	}
+}
+
+// nextEventAt reports the earliest pending micro-event time, or -1.
+func (e *engine) nextEventAt(nowNs int64) int64 {
+	next := e.cal.minAt()
+	if wAt := e.wheel.nextAt(nowNs); wAt >= 0 && (next < 0 || wAt < next) {
+		next = wAt
+	}
+	return next
+}
+
+// pumpFire drains every micro-event due at the current instant — the
+// calendar before the wheel on ties, each in FIFO schedule order,
+// mirroring the kernel's same-instant discipline — then re-arms the pump
+// for the next instant. It stops early when every flow is done or the
+// horizon has passed (matching the object engine's per-event checks),
+// and yields back to the kernel every pumpChunk events so budget and
+// context enforcement see progress even inside one instant.
+func (e *engine) pumpFire() {
+	now := e.s.Now()
+	nowNs := int64(now)
+	horizon := e.cfg.Horizon
+	for n := 0; ; {
+		if e.doneCount == e.F {
+			return
+		}
+		cAt := e.cal.minAt()
+		next := cAt
+		wAt := e.wheel.nextAt(nowNs)
+		if wAt >= 0 && (next < 0 || wAt < next) {
+			next = wAt
+		}
+		if next < 0 {
+			return
+		}
+		if next > nowNs {
+			e.pump.Set(time.Duration(next) - now)
+			return
+		}
+		e.events++
+		if cAt >= 0 && cAt <= nowNs {
+			ev := e.cal.pop()
+			e.dispatch(ev)
+		} else {
+			idx := e.wheel.popDue(wAt)
+			if idx < 0 {
+				return // defensive; cannot happen
+			}
+			e.fireTimer(idx)
+		}
+		if now >= horizon {
+			// The object engine checked the horizon between kernel
+			// events: exactly one event past the horizon runs.
+			return
+		}
+		if n++; n >= pumpChunk {
+			e.pump.Set(0)
+			return
+		}
+	}
+}
+
+// dispatch routes one calendar event.
+func (e *engine) dispatch(ev calEvent) {
+	switch ev.kind {
+	case evWiredArrive:
+		e.wiredArrive(ev.flow, ev.slot)
+	case evRadioDone:
+		e.radioDone(ev.bs)
+	case evSinkDeliver:
+		e.sinkDeliver(ev.flow, ev.slot)
+	case evAckArrive:
+		e.senderOnAck(ev.flow, ev.a)
+	case evEBSNArrive:
+		e.senderOnEBSN(ev.flow)
+	case evAdmit:
+		e.admitBatch()
+	}
+}
+
+// fireTimer routes one wheel expiry: flow indices are RTO timers, the
+// indices past them are per-base-station CSDP poll timers.
+func (e *engine) fireTimer(idx int32) {
+	if int(idx) < e.F {
+		e.onTimeout(idx)
+		return
+	}
+	e.kick(idx - int32(e.F))
+}
+
+// admitBatch starts the next AdmitBatch flows and schedules the batch
+// after it.
+func (e *engine) admitBatch() {
+	n := e.cfg.AdmitBatch
+	if n <= 0 {
+		n = e.F
+	}
+	for i := 0; i < n && e.admitted < e.F; i++ {
+		e.startFlow(int32(e.admitted))
+		e.admitted++
+	}
+	if e.admitted < e.F {
+		e.cal.push(calEvent{at: int64(e.s.Now() + e.cfg.AdmitEvery), kind: evAdmit})
+	}
+}
+
+// ---- base station ----
+
+// wiredArrive admits a data segment that finished the wired hop into its
+// flow's base-station queue.
+func (e *engine) wiredArrive(f, slot int32) {
+	if !e.qPush(f, slot) {
+		e.queueDrops++
+		e.arena.decref(slot)
+		return // tail drop; TCP recovers end to end
+	}
+	b := e.bsOf(f)
+	if e.cfg.Policy == FIFO {
+		e.fifo[b].push(f)
+	}
+	e.kick(b)
+}
+
+// kick starts a transmission if base station b's radio is idle and a
+// unit is eligible.
+func (e *engine) kick(b int32) {
+	if e.busy[b] {
+		return
+	}
+	f, ok := e.pickNext(b)
+	if !ok {
+		return
+	}
+	if e.qCount[f] == 0 {
+		return
+	}
+	e.transmit(b, f)
+}
+
+// pickNext selects the next flow to serve, per policy.
+func (e *engine) pickNext(b int32) (int32, bool) {
+	switch e.cfg.Policy {
+	case FIFO:
+		r := &e.fifo[b]
+		for r.count > 0 {
+			f := r.peek()
+			if e.qCount[f] > 0 {
+				return f, true
+			}
+			// The entry's packet was discarded; drop the stale slot.
+			r.pop()
+		}
+		return 0, false
+	case RoundRobin:
+		return e.nextNonEmpty(b, false)
+	default: // CSDP
+		f, ok := e.nextNonEmpty(b, true)
+		if ok {
+			return f, true
+		}
+		// Everything pending is predicted bad: poll again shortly rather
+		// than burn the radio on doomed transmissions.
+		poll := int32(e.F) + b
+		if e.anyQueued(b) && !e.wheel.armed(poll) {
+			now := int64(e.s.Now())
+			e.wheel.arm(poll, now+int64(csdpPollInterval), now)
+		}
+		return 0, false
+	}
+}
+
+// nextNonEmpty scans round-robin from b's pointer for a non-empty queue,
+// skipping predicted-bad channels when csdp is set.
+func (e *engine) nextNonEmpty(b int32, csdp bool) (int32, bool) {
+	n := e.nLocal[b]
+	for i := int32(1); i <= n; i++ {
+		l := (e.rr[b] + i) % n
+		f := l*int32(e.B) + b
+		if e.qCount[f] == 0 {
+			continue
+		}
+		if csdp && !e.predictGood(f) {
+			e.skippedBad[b]++
+			continue
+		}
+		e.rr[b] = l
+		return f, true
+	}
+	return 0, false
+}
+
+// anyQueued reports whether any of b's flows has pending packets.
+func (e *engine) anyQueued(b int32) bool {
+	for l := int32(0); l < e.nLocal[b]; l++ {
+		if e.qCount[l*int32(e.B)+b] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// predictGood consults the channel predictor for a flow.
+func (e *engine) predictGood(f int32) bool {
+	truth := e.channelOf(f).StateAt(e.s.Now()) == errmodel.Good
+	if e.pred.Bernoulli(e.cfg.PredictorAccuracy) {
+		return truth
+	}
+	return !truth
+}
+
+// transmit puts flow f's head packet on base station b's radio
+// (stop-and-wait: the radio is held until the link-ack deadline).
+func (e *engine) transmit(b, f int32) {
+	e.busy[b] = true
+	e.attempts[b]++
+	e.tries[f]++
+	if e.tries[f] == 1 {
+		e.unit[f]++
+	}
+	slot := e.qHeadSlot(f)
+	start := e.s.Now()
+	tx := units.TransmissionTime(e.arena.size(slot), e.cfg.WirelessRate)
+	cycle := tx + 2*e.cfg.WirelessDelay + e.ackTxRadio
+
+	e.curFlow[b] = f
+	e.curSlot[b] = slot
+	e.curStart[b] = start
+	e.cal.push(calEvent{at: int64(start + cycle), kind: evRadioDone, bs: b})
+
+	if e.oracle != nil {
+		e.oracle.arqAttempt(f, int(e.tries[f]))
+	}
+}
+
+// radioDone completes a stop-and-wait cycle: draw the data corruption
+// over the fading window, then (for survivors) the link-ack loss; data
+// that arrived is delivered regardless of the ack's fate — a lost ack
+// only causes a duplicate later.
+func (e *engine) radioDone(b int32) {
+	f := e.curFlow[b]
+	slot := e.curSlot[b]
+	start := e.curStart[b]
+	e.busy[b] = false
+
+	ch := e.channelOf(f)
+	size := e.arena.size(slot)
+	tx := units.TransmissionTime(size, e.cfg.WirelessRate)
+	corrupted := e.rng.PoissonAtLeastOne(ch.ExpectedBitErrors(start, start+tx, size.Bits()))
+	ackLost := false
+	if !corrupted {
+		// The link ack rides the same fading channel.
+		ackStart := start + tx + e.cfg.WirelessDelay
+		ackLost = e.rng.PoissonAtLeastOne(
+			ch.ExpectedBitErrors(ackStart, ackStart+e.ackTxRadio, packet.ControlSize.Bits()))
+		e.deliverToSink(f, slot)
+	}
+	if corrupted || ackLost {
+		e.onAttemptFailed(b, f)
+	} else {
+		e.onAttemptSucceeded(b, f)
+	}
+	e.kick(b)
+}
+
+// deliverToSink schedules the received copy's hand-off to the mobile
+// sink, one propagation delay away, with chaos faults applied.
+func (e *engine) deliverToSink(f, slot int32) {
+	delay := e.cfg.WirelessDelay
+	if e.chaosOn {
+		if e.chaos.Bernoulli(e.cfg.Chaos.DropP) {
+			e.chaosDrops++
+			return
+		}
+		if e.chaos.Bernoulli(e.cfg.Chaos.ReorderP) {
+			e.chaosDelays++
+			delay += e.cfg.Chaos.ReorderDelay
+		}
+		if e.chaos.Bernoulli(e.cfg.Chaos.DupP) {
+			e.chaosDups++
+			e.arena.incref(slot)
+			e.cal.push(calEvent{at: int64(e.s.Now() + delay), kind: evSinkDeliver, flow: f, slot: slot})
+		}
+	}
+	e.arena.incref(slot)
+	e.cal.push(calEvent{at: int64(e.s.Now() + delay), kind: evSinkDeliver, flow: f, slot: slot})
+}
+
+// sinkDeliver hands one arena slot's segment to the sink and releases
+// the delivery reference.
+func (e *engine) sinkDeliver(f, slot int32) {
+	seq := e.arena.seq[slot]
+	paylen := int64(e.arena.paylen[slot])
+	e.arena.decref(slot)
+	e.sinkReceive(f, seq, paylen)
+}
+
+// onAttemptSucceeded pops the acknowledged head and resets its ARQ
+// state.
+func (e *engine) onAttemptSucceeded(b, f int32) {
+	e.arena.decref(e.qPop(f))
+	e.tries[f] = 0
+	if e.cfg.Policy == FIFO && e.fifo[b].count > 0 {
+		e.fifo[b].pop()
+	}
+	if e.oracle != nil {
+		e.oracle.arqAck(f)
+	}
+}
+
+// onAttemptFailed notifies sources (EBSN) and retries or discards the
+// head packet.
+func (e *engine) onAttemptFailed(b, f int32) {
+	if e.cfg.EBSN {
+		at := int64(e.s.Now() + e.cfg.WiredDelay)
+		if e.cfg.EBSNBroadcast {
+			// The object engine's semantics: notify every source whose
+			// data the base station is holding up — the one whose
+			// transmission failed and any bystanders queued behind it.
+			for l := int32(0); l < e.nLocal[b]; l++ {
+				i := l*int32(e.B) + b
+				if i != f && e.qCount[i] == 0 {
+					continue
+				}
+				e.ebsnsSent[b]++
+				e.cal.push(calEvent{at: at, kind: evEBSNArrive, flow: i})
+			}
+		} else {
+			e.ebsnsSent[b]++
+			e.cal.push(calEvent{at: at, kind: evEBSNArrive, flow: f})
+		}
+	}
+	if e.oracle != nil {
+		e.oracle.arqFailure(f, int(e.tries[f]))
+	}
+	if int(e.tries[f]) <= e.cfg.RTmax {
+		return // head stays queued; the next pick may retry it
+	}
+	// Discard after RTmax retransmissions.
+	e.discards[b]++
+	e.arena.decref(e.qPop(f))
+	e.tries[f] = 0
+	if e.cfg.Policy == FIFO && e.fifo[b].count > 0 {
+		e.fifo[b].pop()
+	}
+	if e.oracle != nil {
+		e.oracle.arqDiscard(f)
+	}
+}
+
+// ---- teardown ----
+
+// drain releases every outstanding packet reference (queues, in-flight
+// deliveries) so the arena's live count audits reference hygiene: after
+// drain, a non-zero live count is a leaked reference and a negative-path
+// decref would have latched a misuse error.
+func (e *engine) drain() {
+	for f := 0; f < e.F; f++ {
+		for e.qCount[f] > 0 {
+			e.arena.decref(e.qPop(int32(f)))
+		}
+	}
+	for e.cal.len() > 0 {
+		ev := e.cal.pop()
+		if ev.kind == evWiredArrive || ev.kind == evSinkDeliver {
+			e.arena.decref(ev.slot)
+		}
+	}
+}
+
+// finish drains references and assembles the Result.
+func (e *engine) finish() (*Result, error) {
+	e.drain()
+	if e.arena.misuse != nil {
+		return nil, e.arena.misuse
+	}
+
+	res := &Result{
+		Config:         e.cfg,
+		Completed:      e.doneCount == e.F,
+		CompletedFlows: e.doneCount,
+		Flows:          make([]FlowResult, e.F),
+		TotalTimeouts:  0,
+		QueueDrops:     e.queueDrops,
+		ChaosDrops:     e.chaosDrops,
+		ChaosDups:      e.chaosDups,
+		ChaosDelays:    e.chaosDelays,
+		Events:         e.events,
+		Arena:          e.arena.stats(),
+	}
+	for b := 0; b < e.B; b++ {
+		res.RadioAttempts += e.attempts[b]
+		res.RadioDiscards += e.discards[b]
+		res.SkippedBad += e.skippedBad[b]
+		res.EBSNsSent += e.ebsnsSent[b]
+	}
+	var sum, sumSq float64
+	for f := 0; f < e.F; f++ {
+		elapsed := e.finishAt[f]
+		if !e.done[f] {
+			elapsed = e.s.Now()
+		}
+		tput := units.ThroughputKbps(e.cfg.TransferSize, elapsed)
+		res.Flows[f] = FlowResult{
+			Completed:    e.done[f],
+			Elapsed:      elapsed,
+			Timeouts:     e.fTimeouts[f],
+			RetransBytes: e.fRetrans[f],
+		}
+		res.TotalTimeouts += e.fTimeouts[f]
+		res.AggregateKbps += tput
+		sum += tput
+		sumSq += tput * tput
+	}
+	if n := float64(e.F); sumSq > 0 {
+		res.Fairness = sum * sum / (n * sumSq)
+	}
+	return res, nil
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package cell
+
+// raceEnabled is false in ordinary builds; see race.go.
+const raceEnabled = false

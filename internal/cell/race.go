@@ -1,0 +1,10 @@
+//go:build race
+
+package cell
+
+// raceEnabled gates the scale SLOs and allocation pins: under the race
+// detector every allocation is instrumented (so AllocsPerRun pins are
+// meaningless) and the engine runs ~10x slower (so wall-clock SLOs
+// would need uselessly loose bounds). The behavioural and property
+// tests still run under -race; only the performance assertions skip.
+const raceEnabled = true

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+
+	"wtcp/internal/cell"
+	"wtcp/internal/sim"
+)
+
+// CellConfig parameterizes a cell-scale run: the flat struct-of-arrays
+// engine simulating an entire base-station cell of concurrent flows
+// (see internal/cell). Budget layers the same resource ceilings RunContext
+// offers single-connection runs; a cell run should practically always set
+// at least a wall-clock ceiling, since a mis-parameterized 100k-flow run
+// can burn minutes.
+type CellConfig struct {
+	cell.Config
+	// Budget bounds the run's fired events, virtual time, wall-clock
+	// time, and heap bytes; exhaustion surfaces as a *sim.BudgetError.
+	// The zero value imposes no ceilings.
+	Budget sim.Budget
+}
+
+// RunCell executes one cell-scale simulation, the many-flow sibling of
+// RunContext: cooperative cancellation through ctx, resource ceilings
+// through cfg.Budget, and panic containment into *PanicError so a sweep
+// over cell scenarios can skip a poisoned point instead of crashing.
+func RunCell(ctx context.Context, cfg CellConfig) (res *cell.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = nil
+			err = &PanicError{Value: fmt.Sprint(p), Stack: string(debug.Stack())}
+		}
+	}()
+	return cell.RunContext(ctx, cfg.Config, cfg.Budget)
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"wtcp/internal/cell"
+	"wtcp/internal/errmodel"
+	"wtcp/internal/sim"
+	"wtcp/internal/units"
+)
+
+func cellTestConfig(flows int) CellConfig {
+	return CellConfig{Config: cell.Config{
+		Flows:             flows,
+		Policy:            cell.RoundRobin,
+		TransferSize:      32 * units.KB,
+		PacketSize:        1536,
+		Window:            16 * units.KB,
+		WiredRate:         10 * units.Mbps,
+		WiredDelay:        time.Millisecond,
+		WirelessRate:      2 * units.Mbps,
+		WirelessDelay:     time.Millisecond,
+		Channel:           errmodel.PaperLAN(time.Second),
+		PredictorAccuracy: 1.0,
+		Seed:              1,
+	}}
+}
+
+func TestRunCellCompletes(t *testing.T) {
+	res, err := RunCell(context.Background(), cellTestConfig(4))
+	if err != nil {
+		t.Fatalf("RunCell: %v", err)
+	}
+	if !res.Completed || res.CompletedFlows != 4 {
+		t.Fatalf("completed %d/4 flows", res.CompletedFlows)
+	}
+}
+
+func TestRunCellValidates(t *testing.T) {
+	cfg := cellTestConfig(4)
+	cfg.Flows = 0
+	if _, err := RunCell(context.Background(), cfg); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestRunCellCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunCell(ctx, cellTestConfig(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not unwrap to context.Canceled", err)
+	}
+}
+
+func TestRunCellBudget(t *testing.T) {
+	cfg := cellTestConfig(8)
+	cfg.Budget = sim.Budget{MaxEvents: 5}
+	_, err := RunCell(context.Background(), cfg)
+	var be *sim.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want a *sim.BudgetError", err)
+	}
+}

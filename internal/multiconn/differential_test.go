@@ -1,0 +1,103 @@
+package multiconn
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"wtcp/internal/units"
+)
+
+// TestRunMatchesReferenceEngine pins the cell-engine delegation
+// bit-identical to the original object-per-flow engine across policies,
+// EBSN settings, seeds, and population sizes: every field of every
+// Result — elapsed times to the nanosecond, float throughputs to the
+// last bit, radio counters exactly — must agree. Any divergence means
+// the flat port's semantics drifted.
+func TestRunMatchesReferenceEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is slow")
+	}
+	for _, n := range []int{1, 2, 4} {
+		for _, policy := range []Policy{FIFO, RoundRobin, CSDP} {
+			for _, ebsn := range []bool{false, true} {
+				for seed := int64(1); seed <= 3; seed++ {
+					n, policy, ebsn, seed := n, policy, ebsn, seed
+					name := fmt.Sprintf("n%d/%v/ebsn=%v/seed%d", n, policy, ebsn, seed)
+					t.Run(name, func(t *testing.T) {
+						t.Parallel()
+						cfg := LANDefaults(n, policy, time.Second)
+						// Small transfers so every sweep point completes
+						// well inside the horizon (the engines may
+						// legally differ in which event straddles the
+						// horizon boundary).
+						cfg.TransferSize = 96 * units.KB
+						cfg.EBSN = ebsn
+						cfg.Seed = seed
+						if policy == CSDP {
+							cfg.PredictorAccuracy = 0.9
+						}
+
+						want, err := refRun(cfg)
+						if err != nil {
+							t.Fatalf("reference engine: %v", err)
+						}
+						got, err := Run(cfg)
+						if err != nil {
+							t.Fatalf("cell engine: %v", err)
+						}
+						if !want.Completed {
+							t.Fatalf("reference run did not complete; grow the horizon")
+						}
+						diffResults(t, want, got)
+					})
+				}
+			}
+		}
+	}
+}
+
+// diffResults compares every Result field, reporting the first few
+// mismatches precisely enough to debug a divergence.
+func diffResults(t *testing.T, want, got *Result) {
+	t.Helper()
+	if got.Completed != want.Completed {
+		t.Errorf("Completed: got %v want %v", got.Completed, want.Completed)
+	}
+	for _, c := range []struct {
+		name      string
+		got, want uint64
+	}{
+		{"RadioAttempts", got.RadioAttempts, want.RadioAttempts},
+		{"RadioDiscards", got.RadioDiscards, want.RadioDiscards},
+		{"SkippedBad", got.SkippedBad, want.SkippedBad},
+		{"EBSNsSent", got.EBSNsSent, want.EBSNsSent},
+		{"TotalTimeouts", got.TotalTimeouts, want.TotalTimeouts},
+	} {
+		if c.got != c.want {
+			t.Errorf("%s: got %d want %d", c.name, c.got, c.want)
+		}
+	}
+	if !floatBitEqual(got.AggregateKbps, want.AggregateKbps) {
+		t.Errorf("AggregateKbps: got %v want %v", got.AggregateKbps, want.AggregateKbps)
+	}
+	if !floatBitEqual(got.Fairness, want.Fairness) {
+		t.Errorf("Fairness: got %v want %v", got.Fairness, want.Fairness)
+	}
+	if len(got.PerConn) != len(want.PerConn) {
+		t.Fatalf("PerConn length: got %d want %d", len(got.PerConn), len(want.PerConn))
+	}
+	for i := range want.PerConn {
+		if !reflect.DeepEqual(got.PerConn[i], want.PerConn[i]) {
+			t.Errorf("conn %d: got %+v want %+v", i, got.PerConn[i], want.PerConn[i])
+		}
+	}
+}
+
+// floatBitEqual demands bit-level float equality (same arithmetic, same
+// order, same rounding).
+func floatBitEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}

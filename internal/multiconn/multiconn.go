@@ -20,12 +20,9 @@ import (
 	"fmt"
 	"time"
 
+	"wtcp/internal/cell"
 	"wtcp/internal/errmodel"
-	"wtcp/internal/link"
 	"wtcp/internal/packet"
-	"wtcp/internal/queue"
-	"wtcp/internal/sim"
-	"wtcp/internal/tcp"
 	"wtcp/internal/units"
 )
 
@@ -171,7 +168,12 @@ type Result struct {
 	TotalTimeouts uint64
 }
 
-// Run executes one multi-connection simulation.
+// Run executes one multi-connection simulation. Since the cell engine
+// landed, Run is a thin adapter over internal/cell: the flat engine is a
+// bit-identical port of the object-per-flow implementation this package
+// used to carry (preserved in reference_test.go, where a differential
+// test pins the equivalence), so Results are unchanged while large runs
+// stop paying the object-graph overhead.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -186,101 +188,50 @@ func Run(cfg Config) (*Result, error) {
 		cfg.PerConnQueue = 20
 	}
 
-	s := sim.New()
-	ids := &packet.IDGen{}
-	rng := sim.NewRNG(cfg.Seed)
-
-	e := &engine{
-		sim:   s,
-		cfg:   cfg,
-		ids:   ids,
-		rng:   rng.Split(),
-		pred:  rng.Split(),
-		tries: make(map[int]int),
-	}
-	e.pollTimer = sim.NewTimer(s, e.kick)
-
-	mss := cfg.PacketSize - packet.HeaderSize
-	for i := 0; i < cfg.Connections; i++ {
-		ch, err := errmodel.NewMarkov(cfg.Channel, rng.Split())
-		if err != nil {
-			return nil, err
-		}
-		conn := &connection{index: i, channel: ch, queue: queue.New(cfg.PerConnQueue)}
-		e.conns = append(e.conns, conn)
-
-		conn.wiredFwd, err = link.New(s, link.Config{
-			Name: fmt.Sprintf("wired-fwd-%d", i), Rate: cfg.WiredRate, Delay: cfg.WiredDelay, QueueLimit: 50,
-		}, nil, e.enqueueFromWire)
-		if err != nil {
-			return nil, err
-		}
-		conn.wiredRev, err = link.New(s, link.Config{
-			Name: fmt.Sprintf("wired-rev-%d", i), Rate: cfg.WiredRate, Delay: cfg.WiredDelay, QueueLimit: 50,
-		}, nil, func(p *packet.Packet) { conn.sender.Receive(p) })
-		if err != nil {
-			return nil, err
-		}
-
-		conn.sink, err = tcp.NewSink(s, cfg.Window, ids, func(p *packet.Packet) {
-			p.Conn = conn.index
-			e.ackFromMobile(conn, p)
-		})
-		if err != nil {
-			return nil, err
-		}
-		conn.sender, err = tcp.NewSender(s, tcp.Config{
-			MSS:    mss,
-			Window: cfg.Window,
-			Total:  cfg.TransferSize,
-		}, ids, func(p *packet.Packet) {
-			p.Conn = conn.index
-			conn.wiredFwd.Send(p)
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	for _, c := range e.conns {
-		c.sender.Start()
-	}
-	for !e.allDone() && s.Now() < cfg.Horizon {
-		if ok, err := s.Step(); !ok || err != nil {
-			break
-		}
+	cr, err := cell.Run(cell.Config{
+		Flows:             cfg.Connections,
+		BaseStations:      1,
+		Policy:            cell.Policy(cfg.Policy),
+		TransferSize:      cfg.TransferSize,
+		PacketSize:        cfg.PacketSize,
+		Window:            cfg.Window,
+		WiredRate:         cfg.WiredRate,
+		WiredDelay:        cfg.WiredDelay,
+		WirelessRate:      cfg.WirelessRate,
+		WirelessDelay:     cfg.WirelessDelay,
+		Channel:           cfg.Channel,
+		SharedChannel:     false, // every mobile fades independently
+		PredictorAccuracy: cfg.PredictorAccuracy,
+		EBSN:              cfg.EBSN,
+		EBSNBroadcast:     true, // notify queued bystanders too
+		RTmax:             cfg.RTmax,
+		PerFlowQueue:      cfg.PerConnQueue,
+		Seed:              cfg.Seed,
+		Horizon:           cfg.Horizon,
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{
 		Config:        cfg,
-		Completed:     e.allDone(),
-		RadioAttempts: e.attempts,
-		RadioDiscards: e.discards,
-		SkippedBad:    e.skippedBad,
-		EBSNsSent:     e.ebsnsSent,
+		Completed:     cr.Completed,
+		RadioAttempts: cr.RadioAttempts,
+		RadioDiscards: cr.RadioDiscards,
+		SkippedBad:    cr.SkippedBad,
+		EBSNsSent:     cr.EBSNsSent,
+		TotalTimeouts: cr.TotalTimeouts,
+		AggregateKbps: cr.AggregateKbps,
+		Fairness:      cr.Fairness,
 	}
-	var sum, sumSq float64
-	for _, c := range e.conns {
-		elapsed := c.sender.FinishedAt()
-		if !c.sender.Done() {
-			elapsed = s.Now()
-		}
-		tput := units.ThroughputKbps(cfg.TransferSize, elapsed)
-		st := c.sender.Stats()
+	for _, fr := range cr.Flows {
 		res.PerConn = append(res.PerConn, ConnResult{
-			Completed:      c.sender.Done(),
-			Elapsed:        elapsed,
-			ThroughputKbps: tput,
-			Timeouts:       st.Timeouts,
-			RetransKB:      float64(st.RetransBytes) / float64(units.KB),
+			Completed:      fr.Completed,
+			Elapsed:        fr.Elapsed,
+			ThroughputKbps: units.ThroughputKbps(cfg.TransferSize, fr.Elapsed),
+			Timeouts:       fr.Timeouts,
+			RetransKB:      float64(fr.RetransBytes) / float64(units.KB),
 		})
-		res.TotalTimeouts += st.Timeouts
-		res.AggregateKbps += tput
-		sum += tput
-		sumSq += tput * tput
-	}
-	if n := float64(len(e.conns)); sumSq > 0 {
-		res.Fairness = sum * sum / (n * sumSq)
 	}
 	return res, nil
 }

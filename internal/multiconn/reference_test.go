@@ -1,6 +1,12 @@
 package multiconn
 
+// This file preserves the original object-per-flow engine as a test-only
+// reference implementation: Run now delegates to the flat internal/cell
+// engine, and the differential test pins the two bit-identical.
+// Behaviour changes must land in both or the pin fails.
+
 import (
+	"fmt"
 	"time"
 
 	"wtcp/internal/errmodel"
@@ -274,4 +280,120 @@ func (e *engine) ackFromMobile(c *connection, ack *packet.Packet) {
 	e.sim.Schedule(ackTx+e.cfg.WirelessDelay, func() {
 		c.wiredRev.Send(ack)
 	})
+}
+
+// refRun executes cfg on the reference engine above — the original
+// object-per-flow implementation Run used before it delegated to
+// internal/cell. The differential test pins Run bit-identical to it.
+func refRun(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = 4 * time.Hour
+	}
+	if cfg.RTmax <= 0 {
+		cfg.RTmax = 64
+	}
+	if cfg.PerConnQueue <= 0 {
+		cfg.PerConnQueue = 20
+	}
+
+	s := sim.New()
+	ids := &packet.IDGen{}
+	rng := sim.NewRNG(cfg.Seed)
+
+	e := &engine{
+		sim:   s,
+		cfg:   cfg,
+		ids:   ids,
+		rng:   rng.Split(),
+		pred:  rng.Split(),
+		tries: make(map[int]int),
+	}
+	e.pollTimer = sim.NewTimer(s, e.kick)
+
+	mss := cfg.PacketSize - packet.HeaderSize
+	for i := 0; i < cfg.Connections; i++ {
+		ch, err := errmodel.NewMarkov(cfg.Channel, rng.Split())
+		if err != nil {
+			return nil, err
+		}
+		conn := &connection{index: i, channel: ch, queue: queue.New(cfg.PerConnQueue)}
+		e.conns = append(e.conns, conn)
+
+		conn.wiredFwd, err = link.New(s, link.Config{
+			Name: fmt.Sprintf("wired-fwd-%d", i), Rate: cfg.WiredRate, Delay: cfg.WiredDelay, QueueLimit: 50,
+		}, nil, e.enqueueFromWire)
+		if err != nil {
+			return nil, err
+		}
+		conn.wiredRev, err = link.New(s, link.Config{
+			Name: fmt.Sprintf("wired-rev-%d", i), Rate: cfg.WiredRate, Delay: cfg.WiredDelay, QueueLimit: 50,
+		}, nil, func(p *packet.Packet) { conn.sender.Receive(p) })
+		if err != nil {
+			return nil, err
+		}
+
+		conn.sink, err = tcp.NewSink(s, cfg.Window, ids, func(p *packet.Packet) {
+			p.Conn = conn.index
+			e.ackFromMobile(conn, p)
+		})
+		if err != nil {
+			return nil, err
+		}
+		conn.sender, err = tcp.NewSender(s, tcp.Config{
+			MSS:    mss,
+			Window: cfg.Window,
+			Total:  cfg.TransferSize,
+		}, ids, func(p *packet.Packet) {
+			p.Conn = conn.index
+			conn.wiredFwd.Send(p)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for _, c := range e.conns {
+		c.sender.Start()
+	}
+	for !e.allDone() && s.Now() < cfg.Horizon {
+		if ok, err := s.Step(); !ok || err != nil {
+			break
+		}
+	}
+
+	res := &Result{
+		Config:        cfg,
+		Completed:     e.allDone(),
+		RadioAttempts: e.attempts,
+		RadioDiscards: e.discards,
+		SkippedBad:    e.skippedBad,
+		EBSNsSent:     e.ebsnsSent,
+	}
+	var sum, sumSq float64
+	for _, c := range e.conns {
+		elapsed := c.sender.FinishedAt()
+		if !c.sender.Done() {
+			elapsed = s.Now()
+		}
+		tput := units.ThroughputKbps(cfg.TransferSize, elapsed)
+		st := c.sender.Stats()
+		res.PerConn = append(res.PerConn, ConnResult{
+			Completed:      c.sender.Done(),
+			Elapsed:        elapsed,
+			ThroughputKbps: tput,
+			Timeouts:       st.Timeouts,
+			RetransKB:      float64(st.RetransBytes) / float64(units.KB),
+		})
+		res.TotalTimeouts += st.Timeouts
+		res.AggregateKbps += tput
+		sum += tput
+		sumSq += tput * tput
+	}
+	if n := float64(len(e.conns)); sumSq > 0 {
+		res.Fairness = sum * sum / (n * sumSq)
+	}
+	return res, nil
 }

@@ -18,6 +18,7 @@ func TestGenerateQuickReport(t *testing.T) {
 		"### EBSN (Fig 8)",
 		"## Figure 9",
 		"## Figures 10-11",
+		"## Cell-scale simulation (struct-of-arrays engine)",
 		"## Claim-by-claim verdicts",
 	}
 	for _, w := range wantSections {
