@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check conformance budget-smoke fleet-smoke serve-smoke scale-smoke goldens bench bench-baseline bench-compare bench-smoke bench-scale bench-scale-baseline figures traces report fuzz fuzz-smoke clean
+.PHONY: all build vet test test-race check conformance budget-smoke fleet-smoke serve-smoke scale-smoke zoo-smoke goldens bench bench-baseline bench-compare bench-smoke bench-scale bench-scale-baseline figures traces report fuzz fuzz-smoke clean
 
 all: build vet test
 
 # Pre-PR gate: static analysis plus the full suite under the race
 # detector (the simulator is single-threaded by design; -race proves it),
-# plus the protocol-conformance, run-supervision, fleet, service, and
-# cell-scale gates.
-check: vet test-race conformance budget-smoke fleet-smoke serve-smoke scale-smoke
+# plus the protocol-conformance, run-supervision, fleet, service,
+# cell-scale, and protocol-zoo gates.
+check: vet test-race conformance budget-smoke fleet-smoke serve-smoke scale-smoke zoo-smoke
 
 # Supervision gate: a tiny sweep with one pathological (livelocking)
 # point under aggressive run budgets, with the worker pool and heartbeat
@@ -42,6 +42,16 @@ serve-smoke:
 scale-smoke:
 	$(GO) test -race -run 'TestCellSLO1k|TestArenaRefcountsUnderChaos|TestRunMatchesReferenceEngine' ./internal/cell/ ./internal/multiconn/
 	$(GO) test -run 'TestSteadyStateZeroAllocs' ./internal/cell/
+
+# Protocol-zoo gate, under -race: the Tahoe-profile refactor regression
+# and cross-protocol metamorphic orderings, the snoop cache property
+# grid and Tahoe/Reno differential pin, the full variant x scheme study
+# grid, and the split-connection oracle run.
+zoo-smoke:
+	$(GO) test -race -run 'TestTahoeProfileRegression|TestProfilePrefixes|TestGoodputOrderingUnderRandomLoss|TestSnoopAtLeastUnassistedBaseline' ./internal/oracle/
+	$(GO) test -race -run 'TestSnoopPropertiesUnderChaos|TestSnoopChaosDeterminism|TestVariantsIdenticalWithoutLoss|TestTahoeRenoDivergeAtFastRetransmit|TestOracleOnSplitConnection' ./internal/core/
+	$(GO) test -race -run 'TestZooStudyGrid' ./internal/experiment/
+	$(GO) test -race -run 'TestLegacyGoldensSurviveZooRefactor' ./cmd/wtcp-conformance/
 
 # Conformance gate: the oracle/trace/ARQ suites under -race, then the
 # golden-trace drift check against the committed canonical scenarios.

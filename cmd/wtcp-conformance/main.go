@@ -26,6 +26,7 @@ import (
 
 	"wtcp/internal/bs"
 	"wtcp/internal/core"
+	"wtcp/internal/tcp"
 	"wtcp/internal/trace"
 	"wtcp/internal/units"
 )
@@ -57,6 +58,66 @@ var scenarios = []scenario{
 	}},
 	{"lan-ebsn", func() core.Config {
 		cfg := core.LAN(bs.EBSN, 800*time.Millisecond)
+		cfg.TransferSize = 128 * units.KB
+		return cfg
+	}},
+
+	// Protocol zoo: one golden per sender variant on the canonical WAN
+	// and LAN channels, plus the Snoop and split-connection topologies.
+	// Each runs under its own variant's conformance profile.
+	{"wan-reno", func() core.Config {
+		cfg := core.WAN(bs.Basic, 576, 2*time.Second)
+		cfg.TransferSize = 20 * units.KB
+		cfg.Variant = tcp.Reno
+		return cfg
+	}},
+	{"wan-newreno", func() core.Config {
+		cfg := core.WAN(bs.Basic, 576, 2*time.Second)
+		cfg.TransferSize = 20 * units.KB
+		cfg.Variant = tcp.NewReno
+		return cfg
+	}},
+	{"wan-sack", func() core.Config {
+		cfg := core.WAN(bs.Basic, 576, 2*time.Second)
+		cfg.TransferSize = 20 * units.KB
+		cfg.Variant = tcp.SACKVariant
+		return cfg
+	}},
+	{"wan-snoop", func() core.Config {
+		cfg := core.WAN(bs.Snoop, 576, 2*time.Second)
+		cfg.TransferSize = 20 * units.KB
+		return cfg
+	}},
+	{"wan-split", func() core.Config {
+		cfg := core.WAN(bs.SplitConnection, 576, 2*time.Second)
+		cfg.TransferSize = 20 * units.KB
+		return cfg
+	}},
+	{"lan-reno", func() core.Config {
+		cfg := core.LAN(bs.Basic, 800*time.Millisecond)
+		cfg.TransferSize = 128 * units.KB
+		cfg.Variant = tcp.Reno
+		return cfg
+	}},
+	{"lan-newreno", func() core.Config {
+		cfg := core.LAN(bs.Basic, 800*time.Millisecond)
+		cfg.TransferSize = 128 * units.KB
+		cfg.Variant = tcp.NewReno
+		return cfg
+	}},
+	{"lan-sack", func() core.Config {
+		cfg := core.LAN(bs.Basic, 800*time.Millisecond)
+		cfg.TransferSize = 128 * units.KB
+		cfg.Variant = tcp.SACKVariant
+		return cfg
+	}},
+	{"lan-snoop", func() core.Config {
+		cfg := core.LAN(bs.Snoop, 800*time.Millisecond)
+		cfg.TransferSize = 128 * units.KB
+		return cfg
+	}},
+	{"lan-split", func() core.Config {
+		cfg := core.LAN(bs.SplitConnection, 800*time.Millisecond)
 		cfg.TransferSize = 128 * units.KB
 		return cfg
 	}},

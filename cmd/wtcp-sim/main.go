@@ -22,6 +22,7 @@ import (
 	"wtcp/internal/scenario"
 	"wtcp/internal/sim"
 	"wtcp/internal/stats"
+	"wtcp/internal/tcp"
 	"wtcp/internal/units"
 )
 
@@ -35,7 +36,8 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("wtcp-sim", flag.ContinueOnError)
 	var (
-		schemeName = fs.String("scheme", "basic", "base-station scheme: basic|localrecovery|ebsn|sourcequench|snoop")
+		schemeName = fs.String("scheme", "basic", "base-station scheme: basic|localrecovery|ebsn|sourcequench|snoop|split")
+		variant    = fs.String("variant", "tahoe", "TCP sender variant: tahoe|reno|newreno|sack")
 		packet     = fs.Int("packet", 576, "wired packet size in bytes (including 40-byte header)")
 		bad        = fs.Duration("bad", 2*time.Second, "mean bad-period length")
 		good       = fs.Duration("good", 0, "mean good-period length (0 = paper preset)")
@@ -96,6 +98,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	sendVariant, err := tcp.ParseVariant(*variant)
+	if err != nil {
+		return err
+	}
 
 	var fromFile *core.Config
 	if *configPath != "" {
@@ -124,6 +130,7 @@ func run(args []string) error {
 			if *transfer > 0 {
 				cfg.TransferSize = units.ByteSize(*transfer) * units.KB
 			}
+			cfg.Variant = sendVariant
 			cfg.Seed = seed
 		}
 		if *checks {

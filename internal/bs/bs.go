@@ -152,20 +152,30 @@ type SnoopConfig struct {
 	LocalTimeout time.Duration
 	// MaxCached bounds the cache in packets.
 	MaxCached int
+	// MaxLocalRetx is the ARQ-style attempt cap: once a cached copy has
+	// been locally retransmitted this many times it is evicted and the
+	// fixed host's own recovery takes over (dupacks for it are forwarded
+	// again). A fresh copy from the source restarts the count.
+	MaxLocalRetx int
 }
 
-// Default snoop values.
+// Default snoop values. The retransmission cap mirrors the ARQ RTmax so
+// the two local-recovery schemes give up after comparable persistence.
 const (
 	DefaultSnoopTimeout   = 800 * time.Millisecond
 	DefaultSnoopMaxCached = 64
+	DefaultSnoopMaxRetx   = DefaultRTmax
 )
 
-func (c SnoopConfig) withDefaults() SnoopConfig {
+func (c SnoopConfig) WithDefaults() SnoopConfig {
 	if c.LocalTimeout <= 0 {
 		c.LocalTimeout = DefaultSnoopTimeout
 	}
 	if c.MaxCached <= 0 {
 		c.MaxCached = DefaultSnoopMaxCached
+	}
+	if c.MaxLocalRetx <= 0 {
+		c.MaxLocalRetx = DefaultSnoopMaxRetx
 	}
 	return c
 }
@@ -215,9 +225,12 @@ type Stats struct {
 	EBSNsSent    uint64
 	QuenchesSent uint64
 	// SnoopLocalRetx counts snoop-triggered local retransmissions;
-	// SnoopSuppressedDupAcks counts dupacks absorbed at the base station.
+	// SnoopSuppressedDupAcks counts dupacks absorbed at the base station;
+	// SnoopEvictions counts cached copies dropped at the local
+	// retransmission cap.
 	SnoopLocalRetx         uint64
 	SnoopSuppressedDupAcks uint64
+	SnoopEvictions         uint64
 	// Crashes counts injected crash/restart cycles; CrashLostPackets
 	// counts data packets whose forwarding state died with a crash
 	// (in-recovery, pending, or queued on the downlink); CrashDiscards
@@ -247,6 +260,18 @@ type Hooks struct {
 	// OnNotify fires for every control message emitted toward a source
 	// (packet.EBSN or packet.SourceQuench).
 	OnNotify func(kind packet.Kind, conn int)
+	// OnSnoopAdmit fires when the snoop agent caches a downlink data
+	// segment (including a replacement copy from the source).
+	OnSnoopAdmit func(seq int64)
+	// OnSnoopRetx fires for every snoop local retransmission; attempt is
+	// the 1-based count for the current cached copy.
+	OnSnoopRetx func(seq int64, attempt int)
+	// OnSnoopSuppress fires when a duplicate ACK is absorbed at the base
+	// station instead of being forwarded to the fixed host.
+	OnSnoopSuppress func(ackNo int64)
+	// OnSnoopEvict fires when a cached copy is dropped at the local
+	// retransmission cap.
+	OnSnoopEvict func(seq int64)
 }
 
 // BaseStation is the gateway agent. Create with New, then deliver packets
@@ -321,7 +346,7 @@ func New(s *sim.Simulator, cfg Config, ids *packet.IDGen, rng *sim.RNG, down *li
 		}
 		b.arq = newARQEngine(b, cfg.ARQ.WithDefaults())
 	case Snoop:
-		b.snoop = newSnoopAgent(b, cfg.Snoop.withDefaults())
+		b.snoop = newSnoopAgent(b, cfg.Snoop.WithDefaults())
 	case SplitConnection:
 		return nil, errors.New("bs: split connection is a topology change; use the core scenario wiring")
 	}
@@ -348,6 +373,16 @@ func (b *BaseStation) Backlog() int {
 	default:
 		return b.down.QueueLen()
 	}
+}
+
+// SnoopCacheLen reports the number of segments in the snoop cache (zero
+// for non-snoop schemes) — the occupancy the property tests drain to
+// zero.
+func (b *BaseStation) SnoopCacheLen() int {
+	if b.snoop == nil {
+		return 0
+	}
+	return len(b.snoop.cache)
 }
 
 // Crash simulates a base-station failure: every piece of soft state —

@@ -40,6 +40,10 @@ type cachedSeg struct {
 	// locallyRetransmitted marks segments the agent has already re-sent
 	// since the last ack advance, limiting dupack-triggered re-sends.
 	locallyRetransmitted bool
+	// retx counts local retransmissions of this cached copy; at
+	// SnoopConfig.MaxLocalRetx the copy is evicted. A replacement copy
+	// from the source restarts the count.
+	retx int
 }
 
 func newSnoopAgent(b *BaseStation, cfg SnoopConfig) *snoopAgent {
@@ -68,10 +72,13 @@ func (a *snoopAgent) reset() int {
 
 // admit caches a data segment and forwards it onto the wireless link.
 func (a *snoopAgent) admit(p *packet.Packet) {
-	if len(a.cache) < a.cfg.MaxCached {
-		// A retransmission from the source replaces the cached copy and
-		// clears the local-retransmit mark.
+	if _, replacing := a.cache[p.Seq]; replacing || len(a.cache) < a.cfg.MaxCached {
+		// A retransmission from the source replaces the cached copy,
+		// clearing the local-retransmit mark and the attempt count.
 		a.cache[p.Seq] = &cachedSeg{seq: p.Seq, payload: p.Payload, pkt: p}
+		if a.bs.hooks.OnSnoopAdmit != nil {
+			a.bs.hooks.OnSnoopAdmit(p.Seq)
+		}
 	}
 	a.bs.forwardBasic(p)
 	if !a.timer.Pending() {
@@ -103,16 +110,24 @@ func (a *snoopAgent) filterAck(p *packet.Packet) bool {
 		a.dupacks++
 		seg, ok := a.cache[p.AckNo]
 		if !ok {
-			// We never saw the missing segment; the source must handle
-			// it. Forward the dupack.
+			// We never saw the missing segment (or evicted it at the
+			// retransmission cap); the source must handle it. Forward the
+			// dupack so a genuine loss is never hidden from the sender.
 			return false
 		}
 		if !seg.locallyRetransmitted {
 			seg.locallyRetransmitted = true
-			a.localRetransmit(seg)
+			if !a.localRetransmit(seg) {
+				// Evicted at the cap: local repair has given up, so the
+				// dupack must reach the source.
+				return false
+			}
 		}
 		// Suppress the dupack: the loss is being repaired locally.
 		a.bs.stats.SnoopSuppressedDupAcks++
+		if a.bs.hooks.OnSnoopSuppress != nil {
+			a.bs.hooks.OnSnoopSuppress(p.AckNo)
+		}
 		return true
 	default:
 		// Ack below lastAck: stale; forward (harmless).
@@ -131,12 +146,26 @@ func (a *snoopAgent) onLocalTimeout() {
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	a.localRetransmit(a.cache[seqs[0]])
-	a.timer.Set(a.cfg.LocalTimeout)
+	if len(a.cache) > 0 {
+		a.timer.Set(a.cfg.LocalTimeout)
+	} else {
+		a.timer.Stop()
+	}
 }
 
-// localRetransmit re-sends a cached segment over the wireless hop.
-func (a *snoopAgent) localRetransmit(seg *cachedSeg) {
+// localRetransmit re-sends a cached segment over the wireless hop. It
+// reports false when the segment has exhausted its attempt cap and was
+// evicted instead of retransmitted.
+func (a *snoopAgent) localRetransmit(seg *cachedSeg) bool {
+	if seg.retx >= a.cfg.MaxLocalRetx {
+		a.evict(seg)
+		return false
+	}
+	seg.retx++
 	a.bs.stats.SnoopLocalRetx++
+	if a.bs.hooks.OnSnoopRetx != nil {
+		a.bs.hooks.OnSnoopRetx(seg.seq, seg.retx)
+	}
 	copy := &packet.Packet{
 		ID:         a.bs.ids.Next(),
 		Kind:       packet.Data,
@@ -146,4 +175,18 @@ func (a *snoopAgent) localRetransmit(seg *cachedSeg) {
 		SentAt:     a.bs.sim.Now(),
 	}
 	a.bs.forwardBasic(copy)
+	return true
+}
+
+// evict drops a cached copy that has used up its retransmission cap; the
+// fixed host's own recovery (fast retransmit or RTO) repairs the loss.
+func (a *snoopAgent) evict(seg *cachedSeg) {
+	delete(a.cache, seg.seq)
+	a.bs.stats.SnoopEvictions++
+	if a.bs.hooks.OnSnoopEvict != nil {
+		a.bs.hooks.OnSnoopEvict(seg.seq)
+	}
+	if len(a.cache) == 0 {
+		a.timer.Stop()
+	}
 }

@@ -274,11 +274,6 @@ func (c Config) Validate() error {
 		// not mean the same thing there.
 		return errors.New("core: fault injection is not supported for split-connection runs")
 	}
-	if c.Scheme == bs.SplitConnection && c.Oracle {
-		// The split topology runs two senders; the oracle shadows exactly
-		// one connection's state machine.
-		return errors.New("core: the conformance oracle is not supported for split-connection runs")
-	}
 	return c.Channel.Validate()
 }
 
@@ -344,6 +339,12 @@ type Result struct {
 	// out.
 	SplitWireless  *tcp.Stats
 	SplitWiredDone time.Duration
+
+	// SnoopCacheLen is the snoop cache's occupancy when the run ended
+	// (always zero for non-snoop schemes). A completed transfer must
+	// drain it to zero — every cached copy is eventually acked or
+	// evicted at the retransmission cap.
+	SnoopCacheLen int
 }
 
 // PanicError reports a simulation that panicked. RunContext converts the
@@ -493,9 +494,11 @@ type topology struct {
 	wiredFwd, wiredRev       *link.Link
 	wirelessDown, wirelessUp *link.Link
 
-	// arq is the resolved ARQ configuration (defaults applied), kept so
-	// the conformance oracle can mirror the base station's attempt cap.
-	arq bs.ARQConfig
+	// arq and snoop are the resolved base-station configurations
+	// (defaults applied), kept so the conformance oracle can mirror the
+	// station's attempt caps.
+	arq   bs.ARQConfig
+	snoop bs.SnoopConfig
 
 	chaos *chaos.Injector
 }
@@ -506,10 +509,11 @@ type topology struct {
 // failure channel, exactly like a periodic invariant check.
 func (tp *topology) attachOracle(cfg Config, tr *trace.Trace) {
 	checker := oracle.New(oracle.Config{
-		Variant: cfg.Variant,
-		MSS:     cfg.MSS(),
-		Window:  cfg.Window,
-		RTmax:   tp.arq.RTmax,
+		Variant:      cfg.Variant,
+		MSS:          cfg.MSS(),
+		Window:       cfg.Window,
+		RTmax:        tp.arq.RTmax,
+		SnoopMaxRetx: tp.snoop.MaxLocalRetx,
 		// The run has a single connection, so notification counting is
 		// exact: every EBSN reset at the source must be backed by an
 		// emitted notification, and every notification by a link failure.
@@ -554,6 +558,7 @@ func (tp *topology) result(cfg Config) *Result {
 		st := tp.chaos.Stats()
 		res.Chaos = &st
 	}
+	res.SnoopCacheLen = tp.bs.SnoopCacheLen()
 	elapsed := tp.sender.FinishedAt()
 	if !res.Completed {
 		elapsed = tp.sim.Now()
@@ -690,11 +695,12 @@ func newTopology(cfg Config, streaming bool) (*topology, error) {
 		arqCfg.AckTimeout = deriveAckTimeout(wirelessDown, wirelessUp)
 	}
 	arqCfg = arqCfg.WithDefaults()
+	snoopCfg := cfg.Snoop.WithDefaults()
 	station, err = bs.New(s, bs.Config{
 		Scheme:      cfg.Scheme,
 		MTU:         cfg.MTU,
 		ARQ:         arqCfg,
-		Snoop:       cfg.Snoop,
+		Snoop:       snoopCfg,
 		NotifyEvery: cfg.NotifyEvery,
 	}, ids, rng.Split(), wirelessDown, func(p *packet.Packet) { wiredRev.Send(p) })
 	if err != nil {
@@ -709,7 +715,7 @@ func newTopology(cfg Config, streaming bool) (*topology, error) {
 	if cfg.DelayedAcks {
 		sink.EnableDelayedAcks(0)
 	}
-	if cfg.SACK {
+	if cfg.SACK || cfg.Variant.Scoreboard() {
 		sink.EnableSACK()
 	}
 	mobile, err = node.NewMobile(s, node.MobileConfig{
@@ -747,6 +753,7 @@ func newTopology(cfg Config, streaming bool) (*topology, error) {
 		wirelessDown: wirelessDown,
 		wirelessUp:   wirelessUp,
 		arq:          arqCfg,
+		snoop:        snoopCfg,
 	}
 	if chaosRNG != nil {
 		inj, err := chaos.New(s, cfg.Chaos, chaosRNG)

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/tcp"
+	"wtcp/internal/trace"
+	"wtcp/internal/units"
+)
+
+// diffRun executes one LAN transfer and returns its event stream. The
+// config matches the lan-* conformance scenarios (Basic scheme, 800 ms
+// mean fade, 128 KB) except that lossFree zeroes both BER states, turning
+// the Gilbert channel into a perfect wire.
+func diffRun(t *testing.T, v tcp.Variant, lossFree bool) []trace.Event {
+	t.Helper()
+	cfg := LAN(bs.Basic, 800*time.Millisecond)
+	cfg.TransferSize = 128 * units.KB
+	cfg.Variant = v
+	cfg.CollectTrace = true
+	cfg.Oracle = true
+	if lossFree {
+		cfg.Channel.GoodBER = 0
+		cfg.Channel.BadBER = 0
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("%v run: %v", v, err)
+	}
+	if !res.Completed {
+		t.Fatalf("%v: transfer did not complete", v)
+	}
+	return res.Trace.Events()
+}
+
+// TestVariantsIdenticalWithoutLoss is the differential baseline: on a
+// loss-free channel no variant ever reaches fast retransmit or recovery,
+// so Tahoe, Reno, NewReno, and SACK are the same state machine and must
+// produce bit-identical event streams. Any divergence here means a
+// variant leaks behaviour into the common path.
+func TestVariantsIdenticalWithoutLoss(t *testing.T) {
+	base := diffRun(t, tcp.Tahoe, true)
+	if n := countKind(base, trace.FastRetx); n != 0 {
+		t.Fatalf("loss-free run performed %d fast retransmits; channel not clean", n)
+	}
+	for _, v := range []tcp.Variant{tcp.Reno, tcp.NewReno, tcp.SACKVariant} {
+		other := diffRun(t, v, true)
+		if d := trace.DiffEvents(base, other, 0); d != nil {
+			t.Errorf("tahoe and %v diverge on a loss-free channel: %v", v, d)
+		}
+	}
+}
+
+// TestTahoeRenoDivergeAtFastRetransmit pins where the variants part ways:
+// with identical seeds and channel, Tahoe and Reno stay bit-identical up
+// to the third duplicate ACK, then diverge at exactly that event — Tahoe
+// records the fast-retransmit collapse before re-sending (go-back-N),
+// Reno re-sends the hole first and then records the recovery entry. The
+// divergence index must equal the first fast-retransmit in the Tahoe
+// stream, and the cause must be the event kind, not timing drift.
+func TestTahoeRenoDivergeAtFastRetransmit(t *testing.T) {
+	tahoe := diffRun(t, tcp.Tahoe, false)
+	reno := diffRun(t, tcp.Reno, false)
+
+	d := trace.DiffEvents(tahoe, reno, 0)
+	if d == nil {
+		t.Fatal("tahoe and reno produced identical streams on a lossy channel; scenario never triggered fast retransmit")
+	}
+	if d.Field != "kind" {
+		t.Fatalf("first divergence is %v; want the event kind at the fast-retransmit cluster", d)
+	}
+
+	frTahoe := firstKind(tahoe, trace.FastRetx)
+	if frTahoe < 0 {
+		t.Fatal("tahoe stream has no fast retransmit")
+	}
+	if d.Index != frTahoe {
+		t.Errorf("divergence at event %d, but tahoe's first fast retransmit is event %d: variants differ before loss recovery", d.Index, frTahoe)
+	}
+	if got := tahoe[d.Index].Kind; got != trace.FastRetx {
+		t.Errorf("tahoe event %d is %v, want fastretx first (collapse before go-back-N resend)", d.Index, got)
+	}
+	if got := reno[d.Index].Kind; got != trace.Retransmit {
+		t.Errorf("reno event %d is %v, want retransmit first (hole re-sent on recovery entry)", d.Index, got)
+	}
+	frReno := firstKind(reno, trace.FastRetx)
+	if frReno != d.Index+1 {
+		t.Errorf("reno's recovery-entry snapshot at event %d, want %d (immediately after the hole retransmission)", frReno, d.Index+1)
+	}
+
+	// The shared prefix must contain real traffic — the divergence has to
+	// come from loss recovery, not from the connection's opening moves.
+	if d.Index < 10 {
+		t.Errorf("divergence at event %d is suspiciously early; expected an established transfer before the first fade", d.Index)
+	}
+}
+
+func firstKind(events []trace.Event, k trace.EventKind) int {
+	for i, e := range events {
+		if e.Kind == k {
+			return i
+		}
+	}
+	return -1
+}
+
+func countKind(events []trace.Event, k trace.EventKind) int {
+	n := 0
+	for _, e := range events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}

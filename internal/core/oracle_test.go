@@ -124,11 +124,21 @@ func TestOracleCleanOnWorkloads(t *testing.T) {
 	}
 }
 
-func TestOracleRejectsSplitConnection(t *testing.T) {
-	cfg := WAN(bs.SplitConnection, 576, 2*time.Second)
-	cfg.Oracle = true
-	if _, err := Run(cfg); err == nil {
-		t.Fatal("split-connection run with oracle must be rejected")
+// TestOracleOnSplitConnection checks that split-connection runs carry a
+// conformance checker on each half: both the wired and the wireless TCP
+// must be oracle-clean under the run's variant profile.
+func TestOracleOnSplitConnection(t *testing.T) {
+	for _, v := range []tcp.Variant{tcp.Tahoe, tcp.Reno, tcp.NewReno, tcp.SACKVariant} {
+		cfg := WAN(bs.SplitConnection, 576, 2*time.Second)
+		cfg.Oracle = true
+		cfg.Variant = v
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: oracle tripped on split run: %v", v, err)
+		}
+		if !res.Completed {
+			t.Fatalf("%v: split run did not complete", v)
+		}
 	}
 }
 

@@ -8,10 +8,12 @@ import (
 	"wtcp/internal/link"
 	"wtcp/internal/metrics"
 	"wtcp/internal/node"
+	"wtcp/internal/oracle"
 	"wtcp/internal/packet"
 	"wtcp/internal/sim"
 	"wtcp/internal/tcp"
 	"wtcp/internal/trace"
+	"wtcp/internal/units"
 )
 
 // runSplit executes the split-connection (I-TCP) baseline: the end-to-end
@@ -102,6 +104,7 @@ func runSplit(ctx context.Context, cfg Config, s *sim.Simulator) (*Result, error
 		Granularity: cfg.Granularity,
 		InitialRTO:  cfg.InitialRTO,
 		Variant:     cfg.Variant,
+		SACK:        cfg.SACK,
 	}, ids, func(p *packet.Packet) { wiredFwd.Send(p) })
 	if err != nil {
 		return nil, err
@@ -123,22 +126,39 @@ func runSplit(ctx context.Context, cfg Config, s *sim.Simulator) (*Result, error
 		Granularity: cfg.Granularity,
 		InitialRTO:  cfg.InitialRTO,
 		Variant:     cfg.Variant,
+		SACK:        cfg.SACK,
 		Streaming:   true,
 	}, ids, func(p *packet.Packet) { wirelessDown.Send(p) })
 	if err != nil {
 		return nil, err
+	}
+	if cfg.SACK || cfg.Variant.Scoreboard() {
+		bsSink.EnableSACK()
+		mhSink.EnableSACK()
 	}
 
 	// The collected trace follows the wireless half — the connection the
 	// paper's figures observe.
 	var tr *trace.Trace
 	var cw *trace.CwndSeries
-	if cfg.CollectTrace {
+	if cfg.CollectTrace || cfg.Oracle {
 		tr = trace.New(wirelessPacket - PaperHeader)
-		cw = trace.NewCwndSeries()
 		hooks := tr.Hooks(s.Now)
-		hooks.OnCwnd = cw.Hook(s.Now)
+		if cfg.CollectTrace {
+			cw = trace.NewCwndSeries()
+			hooks.OnCwnd = cw.Hook(s.Now)
+		}
 		wsSender.SetHooks(hooks)
+	}
+	if cfg.Oracle {
+		// Each half is an independent TCP connection, so each gets its own
+		// conformance checker under the run's variant profile. Neither half
+		// uses link-level recovery or notifications, so those rule families
+		// stay quiet (RTmax 0, no notification bookkeeping).
+		splitOracle(s, tr, cfg.Variant, wirelessPacket-PaperHeader, cfg.Window)
+		fhTr := trace.New(cfg.MSS())
+		fhSender.SetHooks(fhTr.Hooks(s.Now))
+		splitOracle(s, fhTr, cfg.Variant, cfg.MSS(), cfg.Window)
 	}
 
 	if cfg.Checks {
@@ -214,3 +234,18 @@ func runSplit(ctx context.Context, cfg Config, s *sim.Simulator) (*Result, error
 }
 
 func statsPtr(s tcp.Stats) *tcp.Stats { return &s }
+
+// splitOracle subscribes a conformance checker to one half of a split
+// connection. The first violation on either half halts the run.
+func splitOracle(s *sim.Simulator, tr *trace.Trace, v tcp.Variant, mss, window units.ByteSize) {
+	checker := oracle.New(oracle.Config{
+		Variant: v,
+		MSS:     mss,
+		Window:  window,
+	})
+	tr.SetObserver(func(idx int, e trace.Event) {
+		if viol := checker.Observe(idx, e); viol != nil {
+			s.Fail("oracle", viol)
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/core"
+	"wtcp/internal/stats"
+	"wtcp/internal/tcp"
+	"wtcp/internal/units"
+)
+
+// ZooPoint is one (sender variant, base-station scheme) cell of the
+// protocol-zoo head-to-head study: the same seeded Gilbert channel driven
+// through every combination of end-to-end TCP variant and link-layer
+// assistance the related work proposes.
+type ZooPoint struct {
+	Variant        tcp.Variant
+	Scheme         bs.Scheme
+	ThroughputKbps *stats.Sample
+	Goodput        *stats.Sample
+	TimeoutsAvg    float64
+	RetransKBAvg   float64
+}
+
+// ZooOptions tunes the protocol-zoo study.
+type ZooOptions struct {
+	Replications int
+	Transfer     units.ByteSize
+	PacketSize   units.ByteSize
+	BadPeriod    time.Duration
+	BaseSeed     int64
+	// Variants and Schemes default to the full zoo: every sender variant
+	// against {Basic, EBSN, Snoop, SplitConnection}.
+	Variants []tcp.Variant
+	Schemes  []bs.Scheme
+}
+
+func (o ZooOptions) withDefaults() ZooOptions {
+	if o.Replications <= 0 {
+		o.Replications = 3
+	}
+	if o.Transfer <= 0 {
+		o.Transfer = 100 * units.KB
+	}
+	if o.PacketSize <= 0 {
+		o.PacketSize = 576
+	}
+	if o.BadPeriod <= 0 {
+		o.BadPeriod = 2 * time.Second
+	}
+	if len(o.Variants) == 0 {
+		o.Variants = []tcp.Variant{tcp.Tahoe, tcp.Reno, tcp.NewReno, tcp.SACKVariant}
+	}
+	if len(o.Schemes) == 0 {
+		o.Schemes = []bs.Scheme{bs.Basic, bs.EBSN, bs.Snoop, bs.SplitConnection}
+	}
+	return o
+}
+
+// ZooStudy runs the variant x scheme grid on the paper's WAN channel.
+// Every cell uses the same seeds, so differences are attributable to the
+// protocols, and every run has the conformance oracle armed under the
+// cell's own variant profile — an oracle violation fails the study.
+func ZooStudy(opt ZooOptions) ([]ZooPoint, error) {
+	opt = opt.withDefaults()
+	var out []ZooPoint
+	for _, variant := range opt.Variants {
+		for _, scheme := range opt.Schemes {
+			var tput, goodput stats.Sample
+			var timeouts, retrans float64
+			for seed := int64(1); seed <= int64(opt.Replications); seed++ {
+				cfg := core.WAN(scheme, opt.PacketSize, opt.BadPeriod)
+				cfg.TransferSize = opt.Transfer
+				cfg.Variant = variant
+				cfg.Oracle = true
+				cfg.Seed = opt.BaseSeed + seed
+				r, err := core.Run(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("zoo %s/%s seed %d: %w", variant, scheme, cfg.Seed, err)
+				}
+				if !r.Completed {
+					return nil, fmt.Errorf("zoo %s/%s seed %d: transfer did not complete", variant, scheme, cfg.Seed)
+				}
+				tput.Add(r.Summary.ThroughputKbps)
+				goodput.Add(r.Summary.Goodput)
+				timeouts += float64(r.Summary.Timeouts)
+				retrans += r.Summary.RetransmittedKB()
+			}
+			out = append(out, ZooPoint{
+				Variant:        variant,
+				Scheme:         scheme,
+				ThroughputKbps: &tput,
+				Goodput:        &goodput,
+				TimeoutsAvg:    timeouts / float64(opt.Replications),
+				RetransKBAvg:   retrans / float64(opt.Replications),
+			})
+		}
+	}
+	return out, nil
+}
+
+// ZooCell returns the study point for one (variant, scheme) pair, or nil.
+func ZooCell(points []ZooPoint, v tcp.Variant, s bs.Scheme) *ZooPoint {
+	for i := range points {
+		if points[i].Variant == v && points[i].Scheme == s {
+			return &points[i]
+		}
+	}
+	return nil
+}
+
+// RenderZooTable formats the head-to-head study, one row per variant and
+// one column group per scheme.
+func RenderZooTable(title string, points []ZooPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-8s  %-8s  %-16s  %-10s  %-9s  %-10s\n",
+		"variant", "scheme", "tput(Kbps)", "goodput", "timeouts", "retrans(KB)")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-8s  %-8s  %-16s  %-10s  %-9.1f  %-10.1f\n",
+			p.Variant, p.Scheme,
+			fmt.Sprintf("%.2f±%.0f%%", p.ThroughputKbps.Mean(), 100*p.ThroughputKbps.RelStdDev()),
+			fmt.Sprintf("%.3f", p.Goodput.Mean()),
+			p.TimeoutsAvg, p.RetransKBAvg)
+	}
+	return b.String()
+}
+
+// ZooCSV emits the study as CSV.
+func ZooCSV(points []ZooPoint) string {
+	var b strings.Builder
+	b.WriteString("variant,scheme,tput_kbps_mean,tput_kbps_stddev,goodput_mean,timeouts_avg,retrans_kb_avg\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%s,%s,%.2f,%.2f,%.4f,%.1f,%.1f\n",
+			p.Variant, p.Scheme,
+			p.ThroughputKbps.Mean(), p.ThroughputKbps.StdDev(),
+			p.Goodput.Mean(), p.TimeoutsAvg, p.RetransKBAvg)
+	}
+	return b.String()
+}

@@ -33,11 +33,12 @@ import (
 
 // Config parameterizes the checker with the run's protocol constants.
 type Config struct {
-	// Variant is the sender's congestion-control flavour. The Tahoe-
-	// specific update rules (window growth, fast-retransmit collapse)
-	// are only checked when it is tcp.Tahoe; the structural rules (ACK
-	// validity, timer discipline, ARQ and EBSN semantics) apply to all.
-	// Zero defaults to Tahoe.
+	// Variant selects the sender's conformance profile: the structural
+	// rules (ACK validity, timer discipline, ARQ/EBSN/Snoop semantics)
+	// apply to every variant, while the congestion-response rules come
+	// from the variant's own profile — collapse-and-slow-start for
+	// Tahoe, fast-recovery inflation/deflation for the Reno family
+	// (Reno, NewReno, SACK). Zero defaults to Tahoe.
 	Variant tcp.Variant
 	// MSS and Window are the sender's segment size and advertised window.
 	MSS    units.ByteSize
@@ -48,6 +49,10 @@ type Config struct {
 	// RTmax is the ARQ retransmission cap (attempts allowed = RTmax+1);
 	// zero disables the attempt-cap rule.
 	RTmax int
+	// SnoopMaxRetx is the snoop agent's local retransmission cap per
+	// cached copy; zero disables the snoop attempt-cap rule (the other
+	// snoop rules still apply whenever snoop events appear).
+	SnoopMaxRetx int
 	// TrackNotifications enables the notification-counting rules (a
 	// source timer reset needs a prior EBSN on the wire; an EBSN on the
 	// wire needs a prior link-level failure). Valid only for
@@ -99,11 +104,23 @@ func (v *Violation) Error() string {
 // Checker validates a trace event stream against Config's protocol rules.
 type Checker struct {
 	cfg Config
+	// profile holds the variant's congestion rules (see profile.go).
+	profile profile
 
 	// last is the most recent sender-side event (the shadow state);
-	// haveLast guards the first event of a stream.
-	last     trace.Event
-	haveLast bool
+	// haveLast guards the first event of a stream. last2 is the event
+	// before it — the pre-transition baseline for ACK transitions that
+	// span two events (the Reno family's retransmit-then-ACK pairs).
+	last      trace.Event
+	haveLast  bool
+	last2     trace.Event
+	haveLast2 bool
+
+	// inRecovery and recoverSeq shadow the Reno family's fast-recovery
+	// episode: entered at FastRetx (recoverSeq = snd_max at loss
+	// detection), left on a covering ACK or any timeout.
+	inRecovery bool
+	recoverSeq int64
 
 	// retx tracks byte ranges the source has retransmitted and not yet
 	// had acknowledged — the evidence base for Karn's rule: the backoff
@@ -111,9 +128,9 @@ type Checker struct {
 	retx intervalSet
 
 	// Notification bookkeeping (TrackNotifications).
-	ebsnSent, ebsnResets   int
-	quenchSent, quenchIn   int
-	arqFailures            int
+	ebsnSent, ebsnResets int
+	quenchSent, quenchIn int
+	arqFailures          int
 
 	// ARQ shadow: per-unit attempt counters, unit->packet ownership, and
 	// packets withdrawn after RTmax.
@@ -125,16 +142,25 @@ type Checker struct {
 	// mobile host.
 	lastLinkSeq uint64
 
+	// snoopCache shadows the snoop agent's segment cache: seq -> local
+	// retransmission count for the current cached copy. Entries the
+	// agent frees on a new ACK linger here (the clearing is not traced),
+	// which is safe: a lingering entry is never retransmitted again.
+	snoopCache map[int64]int
+
 	first *Violation
 }
 
 // New returns a checker for one run.
 func New(cfg Config) *Checker {
+	cfg = cfg.withDefaults()
 	return &Checker{
-		cfg:         cfg.withDefaults(),
+		cfg:         cfg,
+		profile:     profileFor(cfg.Variant),
 		unitAttempt: make(map[uint64]int),
 		unitPkt:     make(map[uint64]uint64),
 		discarded:   make(map[uint64]bool),
+		snoopCache:  make(map[int64]int),
 	}
 }
 
@@ -217,6 +243,48 @@ func (c *Checker) observe(idx int, e trace.Event) *Violation {
 		}
 		c.lastLinkSeq = e.Unit
 		return nil
+	case trace.SnoopAdmit:
+		c.snoopCache[e.Seq] = 0
+		return nil
+	case trace.SnoopRetx:
+		prev, cached := c.snoopCache[e.Seq]
+		if !cached {
+			return fail("snoop/retx-uncached",
+				"local retransmission of seq %d with no cached copy", e.Seq)
+		}
+		if c.cfg.SnoopMaxRetx > 0 && e.Attempt > c.cfg.SnoopMaxRetx {
+			return fail("snoop/retx-cap",
+				"local retransmission attempt %d of seq %d exceeds the cap of %d",
+				e.Attempt, e.Seq, c.cfg.SnoopMaxRetx)
+		}
+		if e.Attempt != prev+1 {
+			return fail("snoop/retx-order",
+				"seq %d jumped from local attempt %d to %d", e.Seq, prev, e.Attempt)
+		}
+		c.snoopCache[e.Seq] = e.Attempt
+		return nil
+	case trace.SnoopSuppress:
+		// Suppression may only absorb a duplicate the agent can repair
+		// locally: the segment at the ACK must be cached, and the ACK
+		// must not be one the sender has already moved past — otherwise
+		// the base station is hiding acknowledgment state the source
+		// genuinely needs (the no-hidden-timeout rule).
+		if _, cached := c.snoopCache[e.Ack]; !cached {
+			return fail("snoop/suppress-needs-cache",
+				"suppressed duplicate ACK %d but the segment at it is not cached", e.Ack)
+		}
+		if c.haveLast && e.Ack < c.last.SndUna {
+			return fail("snoop/suppress-only-dupacks",
+				"suppressed ACK %d below the sender's snd_una %d", e.Ack, c.last.SndUna)
+		}
+		return nil
+	case trace.SnoopEvict:
+		if _, cached := c.snoopCache[e.Seq]; !cached {
+			return fail("snoop/evict-uncached",
+				"evicted seq %d with no cached copy", e.Seq)
+		}
+		delete(c.snoopCache, e.Seq)
+		return nil
 	default:
 		return nil
 	}
@@ -269,6 +337,7 @@ func (c *Checker) observeSender(idx int, e trace.Event, fail failf) *Violation {
 				e.SndMax = e.SndNxt
 			}
 		}
+		c.last2, c.haveLast2 = c.last, c.haveLast
 		c.last = e
 		c.haveLast = true
 	}()
@@ -380,9 +449,16 @@ func (c *Checker) checkNewAck(e trace.Event, fail failf) *Violation {
 		return nil
 	}
 	p := c.last
-	if e.SndUna <= p.SndUna {
+	// A Reno-family partial ACK spans two events (the hole's retransmit
+	// snapshot already shows the advanced snd_una); the advance check
+	// must compare against the event before the pair.
+	base := p
+	if c.inRecovery && p.Kind == trace.Retransmit && c.haveLast2 {
+		base = c.last2
+	}
+	if e.SndUna <= base.SndUna {
 		return fail("tcp/ack-advance",
-			"new ACK %d did not advance snd_una (%d -> %d)", e.Ack, p.SndUna, e.SndUna)
+			"new ACK %d did not advance snd_una (%d -> %d)", e.Ack, base.SndUna, e.SndUna)
 	}
 	// Karn's rule: the backoff shift may only reset to zero when the ACK
 	// proves a fresh (never-retransmitted) byte made a round trip.
@@ -400,31 +476,8 @@ func (c *Checker) checkNewAck(e trace.Event, fail failf) *Violation {
 			"backoff shift moved %d -> %d on an ACK (only reset-to-0 is legal)", p.Shift, e.Shift)
 	}
 	c.retx.prune(e.Ack)
-	if c.cfg.Variant == tcp.Tahoe {
-		// Window growth: slow start below ssthresh, else congestion
-		// avoidance, capped at the advertised window plus one segment.
-		mss := float64(c.cfg.MSS)
-		exp := float64(p.Cwnd)
-		if p.Cwnd < p.Ssthresh {
-			exp += mss
-		} else {
-			exp += mss * mss / float64(p.Cwnd)
-		}
-		if cap := float64(c.cfg.Window) + mss; exp > cap {
-			exp = cap
-		}
-		if !within(float64(e.Cwnd), exp, c.cfg.ByteTol) {
-			phase := "congestion avoidance"
-			if p.Cwnd < p.Ssthresh {
-				phase = "slow start"
-			}
-			return fail("tahoe/cwnd-growth",
-				"%s growth from cwnd=%d gives %d, want %.0f", phase, p.Cwnd, e.Cwnd, exp)
-		}
-		if e.Ssthresh != p.Ssthresh {
-			return fail("tahoe/cwnd-growth",
-				"ssthresh moved %d -> %d on a new ACK", p.Ssthresh, e.Ssthresh)
-		}
+	if v := c.profile.newAck(c, e, p, fail); v != nil {
+		return v
 	}
 	// Timer discipline: restart for remaining outstanding data, stop when
 	// everything is acknowledged.
@@ -452,16 +505,8 @@ func (c *Checker) checkDupAck(e trace.Event, fail failf) *Violation {
 		return nil
 	}
 	p := c.last
-	if c.cfg.Variant == tcp.Tahoe {
-		if e.DupAcks >= tcp.DupAckThreshold {
-			return fail("tahoe/missed-fast-retransmit",
-				"duplicate-ACK run reached %d without a fast retransmit", e.DupAcks)
-		}
-		if e.Cwnd != p.Cwnd || e.Ssthresh != p.Ssthresh {
-			return fail("tahoe/dupack-no-growth",
-				"below-threshold duplicate ACK moved cwnd/ssthresh %d/%d -> %d/%d",
-				p.Cwnd, p.Ssthresh, e.Cwnd, e.Ssthresh)
-		}
+	if v := c.profile.dupAck(c, e, p, fail); v != nil {
+		return v
 	}
 	if e.SndUna != p.SndUna || e.SndMax != p.SndMax {
 		return fail("tcp/ack-class",
@@ -490,6 +535,8 @@ func (c *Checker) checkUnchanged(rule string, e trace.Event, fail failf) *Violat
 // restart. These hold for every variant in this codebase (timeouts always
 // abandon fast recovery).
 func (c *Checker) checkTimeout(e trace.Event, fail failf) *Violation {
+	// A timeout abandons any fast-recovery episode in every variant.
+	c.inRecovery = false
 	if !within(float64(e.Cwnd), float64(c.cfg.MSS), c.cfg.ByteTol) {
 		return fail("tcp/timeout-collapse",
 			"cwnd %d after timeout, want one segment (%d)", e.Cwnd, int64(c.cfg.MSS))
@@ -539,43 +586,11 @@ func (c *Checker) checkTimeout(e trace.Event, fail failf) *Violation {
 	return nil
 }
 
-// checkFastRetx validates the Tahoe fast-retransmit response on the third
-// duplicate ACK: ssthresh halves, the window collapses and slow start
-// resumes from snd_una — with no timer backoff (the ACK clock is still
-// running; backing off here is the mistake Karn's rule is about).
+// checkFastRetx delegates the third-duplicate-ACK response to the
+// variant's profile: Tahoe collapses and rewinds, the Reno family
+// retransmits the hole and enters fast recovery.
 func (c *Checker) checkFastRetx(e trace.Event, fail failf) *Violation {
-	if c.cfg.Variant != tcp.Tahoe {
-		return nil
-	}
-	if !within(float64(e.Cwnd), float64(c.cfg.MSS), c.cfg.ByteTol) {
-		return fail("tahoe/fastretx-collapse",
-			"cwnd %d after fast retransmit, want one segment (%d)", e.Cwnd, int64(c.cfg.MSS))
-	}
-	if e.SndNxt != e.SndUna {
-		return fail("tahoe/fastretx-collapse",
-			"snd_nxt %d not rewound to snd_una %d", e.SndNxt, e.SndUna)
-	}
-	if e.DupAcks != 0 {
-		return fail("tahoe/fastretx-collapse",
-			"fast retransmit did not clear the duplicate-ACK run (%d)", e.DupAcks)
-	}
-	if !c.deadlineIs(e, e.At+e.RTO) {
-		return fail("tahoe/fastretx-timer",
-			"timer deadline %v after fast retransmit, want %v (now+RTO)", e.Deadline, e.At+e.RTO)
-	}
-	if !c.haveLast {
-		return nil
-	}
-	p := c.last
-	if v := c.checkHalved("tahoe/fastretx-ssthresh", e, p, fail); v != nil {
-		return v
-	}
-	if e.Shift != p.Shift || !durWithin(e.RTO, p.RTO, c.cfg.TimeTol) {
-		return fail("tahoe/fastretx-no-backoff",
-			"fast retransmit changed the timeout (shift %d->%d, RTO %v->%v)",
-			p.Shift, e.Shift, p.RTO, e.RTO)
-	}
-	return nil
+	return c.profile.fastRetx(c, e, c.last, fail)
 }
 
 // checkHalved asserts e.Ssthresh == max(min(prev cwnd, window)/2, 2*MSS).

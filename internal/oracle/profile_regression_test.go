@@ -1,0 +1,134 @@
+package oracle
+
+import (
+	"testing"
+
+	"wtcp/internal/tcp"
+	"wtcp/internal/trace"
+)
+
+// TestTahoeProfileRegression is the refactor-regression gate for the
+// profile split: every legacy violation fixture must be flagged with the
+// exact same rule name at the exact same event index as before the
+// Tahoe/ARQ rules became the tahoe conformance profile. A rename, a
+// reordering of checks, or a shifted detection point all fail here.
+func TestTahoeProfileRegression(t *testing.T) {
+	withTimeout := func() []trace.Event { return append(slowStartPrefix(), timeoutSuffix()...) }
+	mut := func(events []trace.Event, i int, f func(*trace.Event)) []trace.Event {
+		f(&events[i])
+		return events
+	}
+
+	cases := []struct {
+		name   string
+		events []trace.Event
+		rule   string
+		index  int
+	}{
+		{"slow-start overgrowth", mut(slowStartPrefix(), 1, func(e *trace.Event) { e.Cwnd = 3 * mss }),
+			"tahoe/cwnd-growth", 1},
+		{"no growth", mut(slowStartPrefix(), 1, func(e *trace.Event) { e.Cwnd = mss }),
+			"tahoe/cwnd-growth", 1},
+		{"timeout without collapse", mut(withTimeout(), 4, func(e *trace.Event) { e.Cwnd = 2 * mss }),
+			"tcp/timeout-collapse", 4},
+		{"timeout without halving", mut(withTimeout(), 4, func(e *trace.Event) { e.Ssthresh = win }),
+			"tcp/timeout-ssthresh", 4},
+		{"timeout without rewind", mut(withTimeout(), 4, func(e *trace.Event) { e.SndNxt = 3 * mss; e.Seq = mss }),
+			"tcp/timeout-rewind", 4},
+		{"timeout without backoff", mut(withTimeout(), 4, func(e *trace.Event) {
+			e.Shift = 0
+			e.RTO = rto0
+			e.Deadline = 4*sec + rto0
+		}), "tcp/rto-backoff", 4},
+		{"timeout with foreign deadline", mut(withTimeout(), 4, func(e *trace.Event) { e.Deadline = 20 * sec }),
+			"tcp/timer-restart-on-timeout", 4},
+	}
+
+	// Three dupacks with no fast retransmit.
+	missed := []trace.Event{{At: 0, Kind: trace.Send, Seq: 0, Payload: mss,
+		Cwnd: 4 * mss, Ssthresh: win, RTO: rto0, Deadline: rto0}}
+	for i := 1; i <= 3; i++ {
+		missed = append(missed, trace.Event{At: sec, Kind: trace.AckIn, Ack: 0,
+			AckClass: int(tcp.AckDup), DupAcks: i,
+			SndUna: 0, SndNxt: mss, SndMax: mss,
+			Cwnd: 4 * mss, Ssthresh: win, RTO: rto0, Deadline: rto0})
+	}
+	cases = append(cases, struct {
+		name   string
+		events []trace.Event
+		rule   string
+		index  int
+	}{"missed fast retransmit", missed, "tahoe/missed-fast-retransmit", 3})
+
+	// Fast retransmit that keeps the window or backs the timer off.
+	frPrefix := []trace.Event{
+		{At: 0, Kind: trace.Send, Seq: 0, Payload: mss,
+			Cwnd: 4 * mss, Ssthresh: win, RTO: rto0, Deadline: rto0},
+		{At: sec, Kind: trace.AckIn, Ack: 0, AckClass: int(tcp.AckDup), DupAcks: 1,
+			SndUna: 0, SndNxt: mss, SndMax: mss,
+			Cwnd: 4 * mss, Ssthresh: win, RTO: rto0, Deadline: rto0},
+		{At: sec, Kind: trace.AckIn, Ack: 0, AckClass: int(tcp.AckDup), DupAcks: 2,
+			SndUna: 0, SndNxt: mss, SndMax: mss,
+			Cwnd: 4 * mss, Ssthresh: win, RTO: rto0, Deadline: rto0},
+	}
+	fr := trace.Event{At: sec, Kind: trace.FastRetx, Seq: 0,
+		SndUna: 0, SndNxt: 0, SndMax: mss,
+		Cwnd: mss, Ssthresh: 2 * mss, RTO: rto0, Deadline: sec + rto0}
+	noCollapse := fr
+	noCollapse.Cwnd = 2 * mss
+	backedOff := fr
+	backedOff.Shift = 1
+	backedOff.RTO = 2 * rto0
+	backedOff.Deadline = sec + 2*rto0
+	cases = append(cases,
+		struct {
+			name   string
+			events []trace.Event
+			rule   string
+			index  int
+		}{"fastretx without collapse", append(append([]trace.Event{}, frPrefix...), noCollapse),
+			"tahoe/fastretx-collapse", 3},
+		struct {
+			name   string
+			events []trace.Event
+			rule   string
+			index  int
+		}{"fastretx with backoff", append(append([]trace.Event{}, frPrefix...), backedOff),
+			"tahoe/fastretx-no-backoff", 3},
+	)
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantViolation(t, Check(baseCfg(), tc.events), tc.rule, tc.index)
+		})
+	}
+
+	// And the conforming fixtures must still be accepted.
+	if v := Check(baseCfg(), withTimeout()); v != nil {
+		t.Errorf("conforming Tahoe stream rejected after profile split: %v", v)
+	}
+	clean := append(append([]trace.Event{}, frPrefix...), fr)
+	if v := Check(baseCfg(), clean); v != nil {
+		t.Errorf("conforming fast retransmit rejected after profile split: %v", v)
+	}
+}
+
+// TestProfilePrefixes pins the rule-namespace contract: Tahoe violations
+// carry the tahoe/ prefix, and each fast-recovery variant names itself
+// (reno/, newreno/, sack/) so a failed metamorphic or zoo run points at
+// the right state machine.
+func TestProfilePrefixes(t *testing.T) {
+	for _, tc := range []struct {
+		variant tcp.Variant
+		prefix  string
+	}{
+		{tcp.Tahoe, "tahoe"},
+		{tcp.Reno, "reno"},
+		{tcp.NewReno, "newreno"},
+		{tcp.SACKVariant, "sack"},
+	} {
+		if got := profileFor(tc.variant).prefix(); got != tc.prefix {
+			t.Errorf("profileFor(%v).prefix() = %q, want %q", tc.variant, got, tc.prefix)
+		}
+	}
+}

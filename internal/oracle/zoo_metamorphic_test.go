@@ -1,0 +1,117 @@
+package oracle_test
+
+// Cross-protocol metamorphic gates for the zoo: instead of pinning
+// absolute numbers, these tests pin the relations the literature argues
+// from — a smarter loss-recovery state machine never does worse under
+// random (non-congestion) loss, and snoop-style local recovery never
+// does worse than leaving the wireless losses to the fixed host. Every
+// run executes with the conformance oracle armed under its own variant
+// profile, so a metamorphic regression and a protocol violation are both
+// caught here, and every comparison shares seeds so the channels and
+// fault draws are identical across the protocols being compared.
+
+import (
+	"testing"
+	"time"
+
+	"wtcp/internal/bs"
+	"wtcp/internal/chaos"
+	"wtcp/internal/core"
+	"wtcp/internal/tcp"
+	"wtcp/internal/units"
+)
+
+// meanGoodput averages goodput (and throughput, second return) over a few
+// seeded replications of one config family.
+func meanGoodput(t *testing.T, build func(seed int64) core.Config) (float64, float64) {
+	t.Helper()
+	const reps = 3
+	good, tput := 0.0, 0.0
+	for seed := int64(1); seed <= reps; seed++ {
+		cfg := build(seed)
+		cfg.Oracle = true
+		res, err := core.Run(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.Completed {
+			t.Fatalf("seed %d: transfer did not complete", seed)
+		}
+		good += res.Summary.Goodput
+		tput += res.Summary.ThroughputKbps
+	}
+	return good / reps, tput / reps
+}
+
+// TestGoodputOrderingUnderRandomLoss pins the recovery-sophistication
+// chain: with random packet corruption on the wireless hop (a clean
+// Gilbert channel plus i.i.d. chaos corruption — losses that signal
+// nothing about congestion), goodput must respect
+//
+//	SACK >= NewReno >= Reno >= Tahoe
+//
+// within tolerance. Each upgrade in the chain only adds recovery
+// machinery (fast recovery, partial-ACK holes, the scoreboard), so a
+// violated relation means an upgrade made loss recovery *less*
+// efficient. The tolerance absorbs the tie-heavy regime at test-sized
+// transfers, where the variants often recover identically.
+func TestGoodputOrderingUnderRandomLoss(t *testing.T) {
+	const tol = 0.97 // a lower variant may beat a higher one by at most 3%
+	order := []tcp.Variant{tcp.Tahoe, tcp.Reno, tcp.NewReno, tcp.SACKVariant}
+	goodputs := make([]float64, len(order))
+	for i, v := range order {
+		v := v
+		goodputs[i], _ = meanGoodput(t, func(seed int64) core.Config {
+			cfg := core.WAN(bs.Basic, 576, 2*time.Second)
+			cfg.TransferSize = 60 * units.KB
+			cfg.Window = 16 * units.KB
+			// Silence the Gilbert channel; all loss comes from the
+			// i.i.d. corruption below, so none of it is congestion.
+			cfg.Channel.GoodBER = 0
+			cfg.Channel.BadBER = 0
+			cfg.Chaos = &chaos.Config{Packets: []chaos.PacketFaults{
+				{Link: chaos.WirelessDown, CorruptProb: 0.05},
+			}}
+			cfg.Variant = v
+			cfg.Seed = seed
+			return cfg
+		})
+	}
+	for i := 1; i < len(order); i++ {
+		if goodputs[i] < goodputs[i-1]*tol {
+			t.Errorf("violated relation %v >= %v under random loss: goodput %.4f < %.4f (tolerance %.0f%%)",
+				order[i], order[i-1], goodputs[i], goodputs[i-1], 100*(1-tol))
+		}
+	}
+}
+
+// TestSnoopAtLeastUnassistedBaseline pins [Balakrishnan 95]'s headline
+// on the paper's own Gilbert channel, for every sender variant: local
+// retransmission from the base-station cache hides wireless losses from
+// the fixed host, so both goodput (fewer end-to-end retransmissions)
+// and throughput (no coarse timeouts for link losses) must be at least
+// the unassisted baseline's. The 5% tolerance covers seed noise; the
+// actual margin is large.
+func TestSnoopAtLeastUnassistedBaseline(t *testing.T) {
+	const tol = 0.95
+	for _, v := range []tcp.Variant{tcp.Tahoe, tcp.Reno, tcp.NewReno, tcp.SACKVariant} {
+		v := v
+		run := func(scheme bs.Scheme) (float64, float64) {
+			return meanGoodput(t, func(seed int64) core.Config {
+				cfg := core.WAN(scheme, 576, 4*time.Second)
+				cfg.TransferSize = 40 * units.KB
+				cfg.Variant = v
+				cfg.Seed = seed
+				return cfg
+			})
+		}
+		baseGood, baseTput := run(bs.Basic)
+		snoopGood, snoopTput := run(bs.Snoop)
+		if snoopGood < baseGood*tol {
+			t.Errorf("violated relation snoop >= basic for %v: goodput %.4f < %.4f", v, snoopGood, baseGood)
+		}
+		if snoopTput < baseTput*tol {
+			t.Errorf("violated relation snoop >= basic for %v: throughput %.2f Kbps < %.2f Kbps", v, snoopTput, baseTput)
+		}
+	}
+}

@@ -22,4 +22,7 @@ func TestFleetSectionMirroredInReplicationDoc(t *testing.T) {
 	if !strings.Contains(string(data), serveSection) {
 		t.Error("REPLICATION.md does not contain the generator's service section verbatim; regenerate with `make report` or update both")
 	}
+	if !strings.Contains(string(data), zooSection) {
+		t.Error("REPLICATION.md does not contain the generator's protocol-zoo section verbatim; regenerate with `make report` or update both")
+	}
 }

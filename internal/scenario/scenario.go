@@ -46,7 +46,7 @@ type File struct {
 	MeanGood        string  `json:"mean_good,omitempty"`
 	MeanBad         string  `json:"mean_bad,omitempty"`
 	Deterministic   bool    `json:"deterministic,omitempty"`
-	Variant         string  `json:"variant,omitempty"` // tahoe (default), reno, newreno
+	Variant         string  `json:"variant,omitempty"` // tahoe (default), reno, newreno, sack
 	DelayedAcks     bool    `json:"delayed_acks,omitempty"`
 	SACK            bool    `json:"sack,omitempty"`
 	ECN             bool    `json:"ecn,omitempty"`
@@ -195,14 +195,12 @@ func (sf File) Build() (core.Config, error) {
 	if sf.WirelessKbps > 0 {
 		cfg.WirelessRate = units.BitRate(sf.WirelessKbps * 1000)
 	}
-	switch sf.Variant {
-	case "", "tahoe":
-	case "reno":
-		cfg.Variant = tcp.Reno
-	case "newreno":
-		cfg.Variant = tcp.NewReno
-	default:
-		return core.Config{}, fmt.Errorf("unknown variant %q (want tahoe, reno, or newreno)", sf.Variant)
+	if sf.Variant != "" {
+		v, err := tcp.ParseVariant(sf.Variant)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Variant = v
 	}
 	cfg.DelayedAcks = sf.DelayedAcks
 	cfg.SACK = sf.SACK

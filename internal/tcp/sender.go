@@ -360,7 +360,7 @@ func (s *Sender) onNewAck(ackNo int64) {
 			s.cwnd = s.ssthresh
 			s.inRecovery = false
 			s.notifyCwnd()
-		case s.cfg.Variant == NewReno:
+		case s.cfg.Variant.PartialAckRetransmit():
 			// Partial ACK: the next segment after ackNo is also missing;
 			// retransmit it immediately and stay in recovery, deflating
 			// by the amount acknowledged.
@@ -458,8 +458,8 @@ func (s *Sender) onDupAck() {
 	s.halveSsthresh()
 	s.timing = false // Karn: the loss invalidates the in-flight sample
 	mss := float64(s.cfg.MSS)
-	switch s.cfg.Variant {
-	case Reno, NewReno:
+	switch {
+	case s.cfg.Variant.FastRecovery():
 		s.inRecovery = true
 		s.recover = s.sndMax
 		s.retransmitFirst()
@@ -491,7 +491,8 @@ func (s *Sender) halveSsthresh() {
 	s.ssthresh = half
 }
 
-// retransmitFirst re-sends the segment at snd_una without moving snd_nxt.
+// retransmitFirst re-sends the segment at snd_una, extending snd_nxt over
+// it if a rewind had left the hole uncovered.
 func (s *Sender) retransmitFirst() {
 	total := int64(s.cfg.Total)
 	seglen := int64(s.cfg.MSS)
@@ -502,6 +503,14 @@ func (s *Sender) retransmitFirst() {
 		return
 	}
 	s.emit(s.sndUna, units.ByteSize(seglen))
+	// The retransmitted hole is outstanding data: snd_nxt must cover it,
+	// or the connection looks idle (timer armed with snd_nxt == snd_una)
+	// and a lost retransmission would never be retried. Reachable when a
+	// partial ACK jumps past a timeout-rewound snd_nxt via data the
+	// receiver buffered before the loss.
+	if s.sndNxt < s.sndUna+seglen {
+		s.sndNxt = s.sndUna + seglen
+	}
 	s.timer.Set(s.rto.RTO())
 }
 

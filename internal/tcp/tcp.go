@@ -43,6 +43,10 @@ const (
 	// segment immediately instead of leaving fast recovery, repairing
 	// multi-loss windows without timeouts.
 	NewReno
+	// SACKVariant is NewReno recovery plus the selective-acknowledgment
+	// scoreboard: go-back-N passes skip ranges the receiver already holds.
+	// Selecting it implies Config.SACK (and the sink must EnableSACK).
+	SACKVariant
 )
 
 // String names the variant.
@@ -54,10 +58,40 @@ func (v Variant) String() string {
 		return "reno"
 	case NewReno:
 		return "newreno"
+	case SACKVariant:
+		return "sack"
 	default:
 		return fmt.Sprintf("Variant(%d)", int(v))
 	}
 }
+
+// ParseVariant resolves a wire name ("tahoe", "reno", "newreno", "sack")
+// to a Variant.
+func ParseVariant(name string) (Variant, error) {
+	for _, v := range []Variant{Tahoe, Reno, NewReno, SACKVariant} {
+		if v.String() == name {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("tcp: unknown variant %q (want tahoe, reno, newreno, or sack)", name)
+}
+
+// FastRecovery reports whether the variant inflates the window on
+// duplicate ACKs instead of collapsing to one segment (Reno and its
+// descendants).
+func (v Variant) FastRecovery() bool {
+	return v == Reno || v == NewReno || v == SACKVariant
+}
+
+// PartialAckRetransmit reports whether a partial ACK during fast recovery
+// retransmits the next hole immediately and stays in recovery (NewReno
+// and SACK) instead of deflating out (plain Reno).
+func (v Variant) PartialAckRetransmit() bool {
+	return v == NewReno || v == SACKVariant
+}
+
+// Scoreboard reports whether the variant keeps a SACK scoreboard.
+func (v Variant) Scoreboard() bool { return v == SACKVariant }
 
 // DupAckThreshold is the fast-retransmit trigger (three duplicate ACKs).
 const DupAckThreshold = 3
@@ -123,6 +157,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Variant == 0 {
 		c.Variant = Tahoe
+	}
+	if c.Variant.Scoreboard() {
+		c.SACK = true
 	}
 	if c.InitialCwnd <= 0 {
 		c.InitialCwnd = 1

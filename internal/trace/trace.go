@@ -54,25 +54,41 @@ const (
 	// MHDeliver is the mobile host handing a sequenced unit up in link
 	// order; Unit carries the link sequence number.
 	MHDeliver
+	// SnoopAdmit is the Snoop agent caching one downlink segment.
+	SnoopAdmit
+	// SnoopRetx is a Snoop local retransmission toward the mobile host;
+	// Attempt carries the 1-based per-segment retransmission count.
+	SnoopRetx
+	// SnoopSuppress is a duplicate ACK absorbed at the base station
+	// instead of being forwarded to the fixed host; Ack carries the
+	// cumulative acknowledgment number.
+	SnoopSuppress
+	// SnoopEvict is the Snoop agent dropping a cached segment after the
+	// local retransmission cap; the fixed host's own recovery takes over.
+	SnoopEvict
 )
 
 // kindNames maps kinds to their stable wire names (CSV, golden traces).
 var kindNames = map[EventKind]string{
-	Send:       "send",
-	Retransmit: "retransmit",
-	Timeout:    "timeout",
-	FastRetx:   "fastretx",
-	EBSNReset:  "ebsn",
-	AckIn:      "ackin",
-	QuenchIn:   "quenchin",
-	ECNEcho:    "ecnecho",
-	ARQAttempt: "arqattempt",
-	ARQFailure: "arqfailure",
-	ARQAck:     "arqack",
-	ARQDiscard: "arqdiscard",
-	EBSNSent:   "ebsnsent",
-	QuenchSent: "quenchsent",
-	MHDeliver:  "mhdeliver",
+	Send:          "send",
+	Retransmit:    "retransmit",
+	Timeout:       "timeout",
+	FastRetx:      "fastretx",
+	EBSNReset:     "ebsn",
+	AckIn:         "ackin",
+	QuenchIn:      "quenchin",
+	ECNEcho:       "ecnecho",
+	ARQAttempt:    "arqattempt",
+	ARQFailure:    "arqfailure",
+	ARQAck:        "arqack",
+	ARQDiscard:    "arqdiscard",
+	EBSNSent:      "ebsnsent",
+	QuenchSent:    "quenchsent",
+	MHDeliver:     "mhdeliver",
+	SnoopAdmit:    "snoopadmit",
+	SnoopRetx:     "snoopretx",
+	SnoopSuppress: "snoopsuppress",
+	SnoopEvict:    "snoopevict",
 }
 
 // String names the kind for CSV and golden output.
@@ -249,6 +265,18 @@ func (tr *Trace) BSHooks(now func() time.Duration) bs.Hooks {
 				k = QuenchSent
 			}
 			tr.record(Event{At: now(), Kind: k})
+		},
+		OnSnoopAdmit: func(seq int64) {
+			tr.record(Event{At: now(), Kind: SnoopAdmit, Seq: seq})
+		},
+		OnSnoopRetx: func(seq int64, attempt int) {
+			tr.record(Event{At: now(), Kind: SnoopRetx, Seq: seq, Attempt: attempt})
+		},
+		OnSnoopSuppress: func(ackNo int64) {
+			tr.record(Event{At: now(), Kind: SnoopSuppress, Ack: ackNo})
+		},
+		OnSnoopEvict: func(seq int64) {
+			tr.record(Event{At: now(), Kind: SnoopEvict, Seq: seq})
 		},
 	}
 }
